@@ -1,0 +1,105 @@
+//! End-to-end cost of one protocol round per method: one split-learning
+//! four-message round vs one sync-SGD step vs one FedAvg round, on the
+//! same MLP workload — the per-round cost behind every figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use medsplit_baselines::{train_fedavg, train_sync_sgd, BaselineConfig, FedAvgOptions, SyncSgdOptions};
+use medsplit_core::{ComputeModel, SplitConfig, SplitTrainer};
+use medsplit_data::{partition, InMemoryDataset, MinibatchPolicy, Partition, SyntheticTabular};
+use medsplit_nn::{Architecture, LrSchedule, MlpConfig};
+use medsplit_simnet::{MemoryTransport, StarTopology};
+
+const PLATFORMS: usize = 4;
+
+fn workload() -> (Architecture, Vec<InMemoryDataset>, InMemoryDataset) {
+    let arch = Architecture::Mlp(MlpConfig {
+        input_dim: 16,
+        hidden: vec![64, 32],
+        num_classes: 4,
+    });
+    let all = SyntheticTabular::new(4, 16, 0).generate(240).unwrap();
+    let train = all.subset(&(0..200).collect::<Vec<_>>()).unwrap();
+    let test = all.subset(&(200..240).collect::<Vec<_>>()).unwrap();
+    let shards = partition(&train, PLATFORMS, &Partition::Iid, 1).unwrap();
+    (arch, shards, test)
+}
+
+fn bench_split_round(c: &mut Criterion) {
+    let (arch, shards, test) = workload();
+    c.bench_function("split_round_4_platforms", |bench| {
+        bench.iter(|| {
+            let transport = MemoryTransport::new(StarTopology::new(PLATFORMS));
+            let config = SplitConfig {
+                rounds: 1,
+                eval_every: 0,
+                lr: LrSchedule::Constant(0.05),
+                minibatch: MinibatchPolicy::Fixed(8),
+                compute: ComputeModel::off(),
+                ..SplitConfig::default()
+            };
+            let mut trainer =
+                SplitTrainer::new(&arch, config, shards.clone(), test.clone(), &transport).unwrap();
+            black_box(trainer.run().unwrap())
+        })
+    });
+}
+
+fn bench_sync_sgd_step(c: &mut Criterion) {
+    let (arch, shards, test) = workload();
+    c.bench_function("sync_sgd_step_4_platforms", |bench| {
+        bench.iter(|| {
+            let transport = MemoryTransport::new(StarTopology::new(PLATFORMS));
+            let config = BaselineConfig {
+                rounds: 1,
+                eval_every: 0,
+                minibatch: MinibatchPolicy::Fixed(8),
+                ..BaselineConfig::default()
+            };
+            black_box(
+                train_sync_sgd(
+                    &arch,
+                    &config,
+                    SyncSgdOptions::default(),
+                    shards.clone(),
+                    &test,
+                    &transport,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fedavg_round(c: &mut Criterion) {
+    let (arch, shards, test) = workload();
+    c.bench_function("fedavg_round_4_platforms", |bench| {
+        bench.iter(|| {
+            let transport = MemoryTransport::new(StarTopology::new(PLATFORMS));
+            let config = BaselineConfig {
+                rounds: 1,
+                eval_every: 0,
+                minibatch: MinibatchPolicy::Fixed(8),
+                ..BaselineConfig::default()
+            };
+            black_box(
+                train_fedavg(
+                    &arch,
+                    &config,
+                    FedAvgOptions { local_steps: 5 },
+                    shards.clone(),
+                    &test,
+                    &transport,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_split_round,
+    bench_sync_sgd_step,
+    bench_fedavg_round
+);
+criterion_main!(benches);

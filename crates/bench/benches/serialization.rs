@@ -1,0 +1,25 @@
+//! Micro-benchmarks of the wire format: every byte the evaluation counts
+//! passes through these paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use medsplit_tensor::{init, Tensor};
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialize");
+    for &numel in &[1_024usize, 65_536, 1_048_576] {
+        let mut rng = init::rng_from_seed(0);
+        let t = Tensor::rand_uniform([numel], -1.0, 1.0, &mut rng);
+        group.throughput(Throughput::Bytes(4 * numel as u64));
+        group.bench_function(format!("to_bytes_{numel}"), |bench| {
+            bench.iter(|| black_box(black_box(&t).to_bytes()))
+        });
+        let bytes = t.to_bytes();
+        group.bench_function(format!("from_bytes_{numel}"), |bench| {
+            bench.iter(|| black_box(Tensor::from_bytes(black_box(bytes.clone())).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the tensor kernels the training loop spends its
+//! time in: matmul, conv2d forward/backward, pooling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use medsplit_tensor::ops::conv::{conv2d_backward, conv2d_forward};
+use medsplit_tensor::ops::pool::maxpool2d_forward;
+use medsplit_tensor::{init, Conv2dSpec, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = init::rng_from_seed(0);
+        let a = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(black_box(&b)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = init::rng_from_seed(1);
+    // The lite-VGG first layer: the platform-side compute of the protocol.
+    let input = Tensor::rand_uniform([8, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([8, 3, 3, 3], -1.0, 1.0, &mut rng);
+    let bias = Tensor::zeros([8]);
+    let spec = Conv2dSpec::square(3, 1, 1);
+    group.bench_function("forward_8x3x16x16", |bench| {
+        bench.iter(|| black_box(conv2d_forward(black_box(&input), &weight, Some(&bias), spec).unwrap()))
+    });
+    let out = conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+    let grad = Tensor::rand_uniform(out.shape().clone(), -1.0, 1.0, &mut rng);
+    group.bench_function("backward_8x3x16x16", |bench| {
+        bench.iter(|| black_box(conv2d_backward(black_box(&input), &weight, &grad, spec).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut rng = init::rng_from_seed(2);
+    let input = Tensor::rand_uniform([8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    c.bench_function("maxpool2d_8x16x16x16", |bench| {
+        bench.iter(|| black_box(maxpool2d_forward(black_box(&input), Conv2dSpec::square(2, 2, 0)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_pool);
+criterion_main!(benches);

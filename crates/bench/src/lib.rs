@@ -1,0 +1,23 @@
+//! # medsplit-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! evaluation (see DESIGN.md §3 for the experiment index):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `cargo run -p medsplit-bench --bin fig4 --release` | Fig. 4 panels (accuracy vs transmitted bytes) |
+//! | `cargo run -p medsplit-bench --bin table1` | analytic full-size per-round costs |
+//! | `cargo run -p medsplit-bench --bin table2 --release` | imbalance-mitigation ablation |
+//! | `cargo run -p medsplit-bench --bin fig5 --release` | split-point sweep (bytes vs leakage) |
+//! | `cargo run -p medsplit-bench --bin fig6 --release` | scalability with platform count |
+//! | `cargo run -p medsplit-bench --bin table3 --release` | baseline landscape under non-IID |
+//!
+//! Every binary accepts `--quick` for a smoke-test scale and writes CSVs
+//! under `bench_results/` (override with `MEDSPLIT_RESULTS_DIR`).
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workload;

@@ -1,0 +1,197 @@
+//! Plain-text tables and CSV output for the experiment binaries.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (no alignment padding).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// The directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MEDSPLIT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench_results"))
+}
+
+/// Writes `content` under the results directory, creating it if needed.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_result(filename: &str, content: &str) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(filename);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Formats bytes as a human-friendly quantity (KB/MB/GB, base 10).
+pub fn human_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Reads a `--flag value` style argument from a raw arg list.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Ensures a parent results path exists relative to a file path (test
+/// helper re-exported for the bins).
+pub fn ensure_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = TextTable::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22222".into()]);
+        let text = t.to_string();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("alpha"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\nalpha,1\nb,22222\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        TextTable::new("x", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn human_bytes_ranges() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(1_500), "1.50 KB");
+        assert_eq!(human_bytes(2_000_000), "2.00 MB");
+        assert_eq!(human_bytes(3_140_000_000), "3.14 GB");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--model", "resnet", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--model").as_deref(), Some("resnet"));
+        assert_eq!(arg_value(&args, "--dataset"), None);
+        assert!(arg_present(&args, "--quick"));
+        assert!(!arg_present(&args, "--full"));
+    }
+
+    #[test]
+    fn write_result_creates_dir() {
+        let dir = std::env::temp_dir().join(format!("medsplit-test-{}", std::process::id()));
+        std::env::set_var("MEDSPLIT_RESULTS_DIR", &dir);
+        let path = write_result("probe.csv", "a,b\n").unwrap();
+        assert!(path.exists());
+        std::env::remove_var("MEDSPLIT_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,146 @@
+//! Training histories: the data behind every accuracy-vs-bytes curve in
+//! the evaluation.
+
+use medsplit_simnet::StatsSnapshot;
+
+/// One row of a training run's log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 0-based round index.
+    pub round: usize,
+    /// Learning rate used this round.
+    pub lr: f32,
+    /// Mean training loss across platforms this round.
+    pub mean_loss: f32,
+    /// Cumulative wire bytes after this round.
+    pub cumulative_bytes: u64,
+    /// Simulated makespan after this round, in seconds.
+    pub simulated_time_s: f64,
+    /// Test accuracy, if this round was an evaluation round.
+    pub accuracy: Option<f32>,
+}
+
+/// The complete log of one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingHistory {
+    /// Method name ("split", "fedavg", "sync_sgd", ...).
+    pub method: String,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+    /// Accuracy after the final round.
+    pub final_accuracy: f32,
+    /// Final communication statistics.
+    pub stats: StatsSnapshot,
+}
+
+impl TrainingHistory {
+    /// The best accuracy achieved at or under a communication budget, i.e.
+    /// one point of the paper's Fig. 4 ("X GB transmitted @ Y% accuracy").
+    pub fn accuracy_at_bytes(&self, budget: u64) -> Option<f32> {
+        self.records
+            .iter()
+            .filter(|r| r.cumulative_bytes <= budget)
+            .filter_map(|r| r.accuracy)
+            .fold(None, |best, a| Some(best.map_or(a, |b: f32| b.max(a))))
+    }
+
+    /// The cumulative bytes at which accuracy first reached `target`
+    /// (communication-to-accuracy), if it ever did.
+    pub fn bytes_to_accuracy(&self, target: f32) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy.is_some_and(|a| a >= target))
+            .map(|r| r.cumulative_bytes)
+    }
+
+    /// The `(bytes, accuracy)` series of evaluation rounds — the curve of
+    /// Fig. 4.
+    pub fn curve(&self) -> Vec<(u64, f32)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.accuracy.map(|a| (r.cumulative_bytes, a)))
+            .collect()
+    }
+
+    /// Renders the history as CSV
+    /// (`method,round,lr,loss,bytes,time_s,accuracy`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("method,round,lr,loss,bytes,time_s,accuracy\n");
+        for r in &self.records {
+            let acc = r.accuracy.map_or(String::new(), |a| format!("{a:.4}"));
+            out.push_str(&format!(
+                "{},{},{:.5},{:.4},{},{:.3},{}\n",
+                self.method, r.round, r.lr, r.mean_loss, r.cumulative_bytes, r.simulated_time_s, acc
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> TrainingHistory {
+        let mk = |round, bytes, acc: Option<f32>| RoundRecord {
+            round,
+            lr: 0.1,
+            mean_loss: 1.0,
+            cumulative_bytes: bytes,
+            simulated_time_s: round as f64,
+            accuracy: acc,
+        };
+        TrainingHistory {
+            method: "split".into(),
+            records: vec![
+                mk(0, 100, Some(0.2)),
+                mk(1, 200, None),
+                mk(2, 300, Some(0.5)),
+                mk(3, 400, Some(0.45)),
+            ],
+            final_accuracy: 0.45,
+            stats: StatsSnapshot {
+                total_bytes: 400,
+                messages: 10,
+                by_kind: vec![],
+                uplink_bytes: 250,
+                downlink_bytes: 150,
+                makespan_s: 3.0,
+            },
+        }
+    }
+
+    #[test]
+    fn accuracy_at_bytes_takes_best_within_budget() {
+        let h = history();
+        assert_eq!(h.accuracy_at_bytes(50), None);
+        assert_eq!(h.accuracy_at_bytes(100), Some(0.2));
+        assert_eq!(h.accuracy_at_bytes(350), Some(0.5));
+        assert_eq!(h.accuracy_at_bytes(1000), Some(0.5));
+    }
+
+    #[test]
+    fn bytes_to_accuracy_finds_first_crossing() {
+        let h = history();
+        assert_eq!(h.bytes_to_accuracy(0.2), Some(100));
+        assert_eq!(h.bytes_to_accuracy(0.5), Some(300));
+        assert_eq!(h.bytes_to_accuracy(0.9), None);
+    }
+
+    #[test]
+    fn curve_skips_non_eval_rounds() {
+        let h = history();
+        assert_eq!(h.curve(), vec![(100, 0.2), (300, 0.5), (400, 0.45)]);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = history().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("method,round"));
+        assert!(lines[1].starts_with("split,0,"));
+        // Non-eval rounds leave the accuracy column empty.
+        assert!(lines[2].ends_with(','));
+    }
+}

@@ -1,0 +1,147 @@
+//! Building the split replicas: identical `L1` prefixes per platform, one
+//! server suffix.
+
+use medsplit_nn::{Architecture, Layer, Sequential};
+
+use crate::config::SplitPoint;
+use crate::error::{Result, SplitError};
+
+/// The two halves of a split network, pre-replicated for every platform.
+#[derive(Debug)]
+pub struct SplitModel {
+    /// One `L1` prefix per platform — all initialised identically (the
+    /// paper's "each platform has the same weights in L1").
+    pub clients: Vec<Sequential>,
+    /// The server-side suffix `L2..Lk`.
+    pub server: Sequential,
+    /// The resolved split layer index.
+    pub split_index: usize,
+    /// Trainable parameter count of one client prefix.
+    pub client_params: usize,
+    /// Trainable parameter count of the server suffix.
+    pub server_params: usize,
+}
+
+/// Resolves a [`SplitPoint`] against an architecture.
+///
+/// # Errors
+///
+/// Returns [`SplitError::Config`] if an explicit index is 0 (nothing on
+/// the platform ⇒ raw data would cross the network) or ≥ the layer count
+/// (nothing on the server).
+pub fn resolve_split(arch: &Architecture, split: SplitPoint) -> Result<usize> {
+    let total_layers = arch.build(0).len();
+    let idx = match split {
+        SplitPoint::Default => arch.default_split(),
+        SplitPoint::At(i) => i,
+    };
+    if idx == 0 {
+        return Err(SplitError::Config(
+            "split index 0 would send raw patient data to the server".into(),
+        ));
+    }
+    if idx >= total_layers {
+        return Err(SplitError::Config(format!(
+            "split index {idx} leaves no layers on the server (model has {total_layers})"
+        )));
+    }
+    Ok(idx)
+}
+
+/// Builds the split replicas: `platforms` identical client prefixes and
+/// one server suffix, all from the same seed.
+///
+/// # Errors
+///
+/// Propagates [`resolve_split`] errors.
+pub fn build_split(
+    arch: &Architecture,
+    split: SplitPoint,
+    seed: u64,
+    platforms: usize,
+) -> Result<SplitModel> {
+    let split_index = resolve_split(arch, split)?;
+    let mut clients = Vec::with_capacity(platforms);
+    for _ in 0..platforms {
+        let mut full = arch.build(seed);
+        let _server_part = full.split_off(split_index);
+        clients.push(full);
+    }
+    let mut full = arch.build(seed);
+    let server = full.split_off(split_index);
+    let client_params = full.param_count();
+    let mut server_model = server;
+    let server_params = server_model.param_count();
+    Ok(SplitModel {
+        clients,
+        server: server_model,
+        split_index,
+        client_params,
+        server_params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_nn::vectorize::parameter_vector;
+    use medsplit_nn::MlpConfig;
+
+    fn arch() -> Architecture {
+        Architecture::Mlp(MlpConfig {
+            input_dim: 6,
+            hidden: vec![10, 8],
+            num_classes: 3,
+        })
+    }
+
+    #[test]
+    fn clients_are_identical() {
+        let mut sm = build_split(&arch(), SplitPoint::Default, 7, 3).unwrap();
+        let v0 = parameter_vector(&mut sm.clients[0]);
+        for c in &mut sm.clients[1..] {
+            assert_eq!(parameter_vector(c), v0);
+        }
+        assert_eq!(sm.split_index, 2);
+        assert_eq!(sm.client_params, 6 * 10 + 10);
+        assert_eq!(sm.server_params, 10 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn client_plus_server_is_whole_model() {
+        let sm = build_split(&arch(), SplitPoint::Default, 7, 1).unwrap();
+        assert_eq!(sm.client_params + sm.server_params, arch().param_count());
+    }
+
+    #[test]
+    fn explicit_split_points() {
+        let sm = build_split(&arch(), SplitPoint::At(4), 2, 2).unwrap();
+        assert_eq!(sm.split_index, 4);
+        assert_eq!(sm.clients[0].len(), 4);
+        // MLP has 5 layers total: dense relu dense relu dense.
+        assert_eq!(sm.server.len(), 1);
+    }
+
+    #[test]
+    fn invalid_split_points_rejected() {
+        assert!(matches!(
+            build_split(&arch(), SplitPoint::At(0), 0, 1),
+            Err(SplitError::Config(_))
+        ));
+        assert!(matches!(
+            build_split(&arch(), SplitPoint::At(5), 0, 1),
+            Err(SplitError::Config(_))
+        ));
+        assert!(build_split(&arch(), SplitPoint::At(4), 0, 1).is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = build_split(&arch(), SplitPoint::Default, 1, 1).unwrap();
+        let mut b = build_split(&arch(), SplitPoint::Default, 2, 1).unwrap();
+        assert_ne!(
+            parameter_vector(&mut a.clients[0]),
+            parameter_vector(&mut b.clients[0])
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Thread-per-node split training: the same actors as
+//! [`crate::trainer::SplitTrainer`], but with every platform and the
+//! server running concurrently on its own OS thread, synchronised only
+//! through the transport — shaped like a real deployment.
+
+use std::time::Duration;
+
+use medsplit_data::InMemoryDataset;
+use medsplit_nn::{accuracy, Architecture};
+use medsplit_simnet::{threaded::run_per_node, Envelope, NodeId, Transport};
+
+use crate::config::{L1Sync, Scheduling, SplitConfig};
+use crate::error::{Result, SplitError};
+use crate::history::{RoundRecord, TrainingHistory};
+use crate::platform::Platform;
+use crate::server::SplitServer;
+use crate::trainer::build_actors;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+enum NodeResult {
+    Server(Box<SplitServer>),
+    Platform(Box<Platform>, Vec<f32>),
+}
+
+fn server_loop<T: Transport>(
+    mut server: SplitServer,
+    config: &SplitConfig,
+    platforms: usize,
+    transport: &T,
+) -> Result<NodeResult> {
+    for round in 0..config.rounds {
+        server.set_lr(config.lr.lr_at(round));
+        let acts: Vec<Envelope> = (0..platforms)
+            .map(|_| {
+                transport
+                    .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+                    .map_err(SplitError::from)
+            })
+            .collect::<Result<_>>()?;
+        for env in server.aggregate_forward(&acts)? {
+            transport.send(env)?;
+        }
+        let grads: Vec<Envelope> = (0..platforms)
+            .map(|_| {
+                transport
+                    .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+                    .map_err(SplitError::from)
+            })
+            .collect::<Result<_>>()?;
+        for env in server.aggregate_backward(&grads)? {
+            transport.send(env)?;
+        }
+    }
+    Ok(NodeResult::Server(Box::new(server)))
+}
+
+fn platform_loop<T: Transport>(
+    mut platform: Platform,
+    config: &SplitConfig,
+    transport: &T,
+) -> Result<NodeResult> {
+    let node = platform.node();
+    let mut losses = Vec::with_capacity(config.rounds);
+    for round in 0..config.rounds {
+        platform.set_lr(config.lr.lr_at(round));
+        let acts = platform.start_round(round as u64)?;
+        transport.send(acts)?;
+        let logits = transport.recv_timeout(node, RECV_TIMEOUT)?;
+        let (grads, loss) = platform.handle_logits(&logits)?;
+        losses.push(loss);
+        transport.send(grads)?;
+        let cut = transport.recv_timeout(node, RECV_TIMEOUT)?;
+        platform.handle_cut_grads(&cut)?;
+    }
+    Ok(NodeResult::Platform(Box::new(platform), losses))
+}
+
+/// Trains with one OS thread per node and returns the history.
+///
+/// The actors and arithmetic are identical to the deterministic trainer;
+/// with [`Scheduling::Aggregate`] the server's concatenation order is
+/// fixed (sorted by platform id), so the learned parameters — and the
+/// total byte count — are bit-identical to a sequential run with the same
+/// configuration.
+///
+/// Per-round byte counts are not observable from inside the node threads,
+/// so the records carry evenly interpolated cumulative bytes; the final
+/// snapshot is exact.
+///
+/// # Errors
+///
+/// Returns configuration errors for unsupported settings (threaded mode
+/// implements the paper-default `Aggregate` + `CommonInit` combination)
+/// and propagates any node's protocol error.
+pub fn train_threaded<T: Transport>(
+    arch: &Architecture,
+    config: SplitConfig,
+    shards: Vec<InMemoryDataset>,
+    test: InMemoryDataset,
+    transport: &T,
+) -> Result<TrainingHistory> {
+    if config.scheduling != Scheduling::Aggregate {
+        return Err(SplitError::Config(
+            "threaded mode implements Aggregate scheduling".into(),
+        ));
+    }
+    if config.l1_sync != L1Sync::CommonInit {
+        return Err(SplitError::Config(
+            "threaded mode implements CommonInit L1 sync".into(),
+        ));
+    }
+    let (platforms, server, _client_params, _server_params) = build_actors(arch, &config, shards)?;
+    let k = platforms.len();
+
+    type NodeFn<'a, T> = Box<dyn FnOnce(NodeId, &T) -> Result<NodeResult> + Send + 'a>;
+    let mut nodes: Vec<(NodeId, NodeFn<'_, T>)> = Vec::with_capacity(k + 1);
+    let cfg_server = config.clone();
+    nodes.push((
+        NodeId::Server,
+        Box::new(move |_, t: &T| server_loop(server, &cfg_server, k, t)),
+    ));
+    for platform in platforms {
+        let cfg = config.clone();
+        nodes.push((
+            platform.node(),
+            Box::new(move |_, t: &T| platform_loop(platform, &cfg, t)),
+        ));
+    }
+
+    let results = run_per_node(transport, nodes);
+
+    let mut server_back: Option<Box<SplitServer>> = None;
+    let mut platforms_back: Vec<(Box<Platform>, Vec<f32>)> = Vec::new();
+    for (_, result) in results {
+        match result? {
+            NodeResult::Server(s) => server_back = Some(s),
+            NodeResult::Platform(p, losses) => platforms_back.push((p, losses)),
+        }
+    }
+    let mut server =
+        *server_back.ok_or_else(|| SplitError::Protocol("server thread produced no result".into()))?;
+    platforms_back.sort_by_key(|(p, _)| p.id());
+
+    // Final evaluation: each platform's L1 composed with the server.
+    let mut total_acc = 0.0;
+    for (platform, _) in &mut platforms_back {
+        let idx: Vec<usize> = (0..test.len()).collect();
+        let (features, labels) = test.batch(&idx)?;
+        let acts = platform.infer_l1(&features)?;
+        let logits = server.infer(&acts)?;
+        total_acc += accuracy(&logits, &labels)?;
+    }
+    let final_accuracy = total_acc / platforms_back.len() as f32;
+
+    let snap = transport.stats().snapshot();
+    let records: Vec<RoundRecord> = (0..config.rounds)
+        .map(|round| {
+            let mean_loss = platforms_back.iter().map(|(_, l)| l[round]).sum::<f32>() / k as f32;
+            RoundRecord {
+                round,
+                lr: config.lr.lr_at(round),
+                mean_loss,
+                cumulative_bytes: snap.total_bytes * (round as u64 + 1) / config.rounds.max(1) as u64,
+                simulated_time_s: snap.makespan_s * (round as f64 + 1.0) / config.rounds.max(1) as f64,
+                accuracy: if round + 1 == config.rounds {
+                    Some(final_accuracy)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+
+    Ok(TrainingHistory {
+        method: "split_threaded".into(),
+        records,
+        final_accuracy,
+        stats: snap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitConfig;
+    use crate::trainer::SplitTrainer;
+    use medsplit_data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
+    use medsplit_nn::{LrSchedule, MlpConfig};
+    use medsplit_simnet::{MemoryTransport, StarTopology};
+
+    fn arch() -> Architecture {
+        Architecture::Mlp(MlpConfig {
+            input_dim: 6,
+            hidden: vec![12],
+            num_classes: 3,
+        })
+    }
+
+    fn config(rounds: usize) -> SplitConfig {
+        SplitConfig {
+            rounds,
+            eval_every: 0,
+            lr: LrSchedule::Constant(0.1),
+            minibatch: MinibatchPolicy::Fixed(8),
+            ..SplitConfig::default()
+        }
+    }
+
+    fn data(platforms: usize) -> (Vec<InMemoryDataset>, InMemoryDataset) {
+        let all = SyntheticTabular::new(3, 6, 0).generate(120).unwrap();
+        let train = all.subset(&(0..90).collect::<Vec<_>>()).unwrap();
+        let test = all.subset(&(90..120).collect::<Vec<_>>()).unwrap();
+        (partition(&train, platforms, &Partition::Iid, 2).unwrap(), test)
+    }
+
+    #[test]
+    fn threaded_run_learns() {
+        let (shards, test) = data(3);
+        let transport = MemoryTransport::new(StarTopology::new(3));
+        let history = train_threaded(&arch(), config(40), shards, test, &transport).unwrap();
+        assert!(
+            history.final_accuracy > 0.6,
+            "accuracy {}",
+            history.final_accuracy
+        );
+        assert_eq!(history.records.len(), 40);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bytes_exactly() {
+        let (shards, test) = data(2);
+        let t1 = MemoryTransport::new(StarTopology::new(2));
+        let h1 = train_threaded(&arch(), config(10), shards.clone(), test.clone(), &t1).unwrap();
+
+        let t2 = MemoryTransport::new(StarTopology::new(2));
+        let mut seq = SplitTrainer::new(&arch(), config(10), shards, test, &t2).unwrap();
+        let h2 = seq.run().unwrap();
+
+        assert_eq!(h1.stats.total_bytes, h2.stats.total_bytes);
+        assert_eq!(h1.stats.messages, h2.stats.messages);
+        // Learned function identical: same final accuracy.
+        assert!((h1.final_accuracy - h2.final_accuracy).abs() < 1e-6);
+        // Same per-round losses (determinism across drivers).
+        for (a, b) in h1.records.iter().zip(&h2.records) {
+            assert!(
+                (a.mean_loss - b.mean_loss).abs() < 1e-6,
+                "round {} loss {} vs {}",
+                a.round,
+                a.mean_loss,
+                b.mean_loss
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_modes_rejected() {
+        let (shards, test) = data(2);
+        let transport = MemoryTransport::new(StarTopology::new(2));
+        let mut cfg = config(2);
+        cfg.scheduling = Scheduling::RoundRobin;
+        assert!(matches!(
+            train_threaded(&arch(), cfg, shards.clone(), test.clone(), &transport),
+            Err(SplitError::Config(_))
+        ));
+        let mut cfg2 = config(2);
+        cfg2.l1_sync = L1Sync::PeriodicAverage { every: 1 };
+        assert!(matches!(
+            train_threaded(&arch(), cfg2, shards, test, &transport),
+            Err(SplitError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! In-memory labelled datasets.
+
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+/// A labelled, in-memory dataset: one big feature tensor whose leading
+/// axis is the sample index, plus integer class labels.
+///
+/// This is the unit the partitioner splits across platforms; each platform
+/// ends up owning its own `InMemoryDataset` (the "local data" of the
+/// paper) that never leaves it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemoryDataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length error if `labels.len()` does not match the leading
+    /// dimension of `features`, or an index error if any label is `>=
+    /// num_classes`.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        let n = features.dims().first().copied().unwrap_or(0);
+        if labels.len() != n {
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                dim: num_classes,
+            });
+        }
+        Ok(InMemoryDataset {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full feature tensor (leading axis = sample).
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample feature dimensions (without the batch axis).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.features.dims()[1..]
+    }
+
+    /// Gathers the samples at `indices` into a `(features, labels)` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error for out-of-range indices.
+    pub fn batch(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>)> {
+        let feats = self.features.index_select0(indices)?;
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Ok((feats, labels))
+    }
+
+    /// Builds a new dataset from a subset of sample indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error for out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> Result<InMemoryDataset> {
+        let (features, labels) = self.batch(indices)?;
+        InMemoryDataset::new(features, labels, self.num_classes)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> InMemoryDataset {
+        let features = Tensor::arange(12).reshape([4, 3]).unwrap();
+        InMemoryDataset::new(features, vec![0, 1, 0, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        let f = Tensor::zeros([3, 2]);
+        assert!(InMemoryDataset::new(f.clone(), vec![0, 1], 2).is_err()); // wrong len
+        assert!(InMemoryDataset::new(f.clone(), vec![0, 1, 2], 2).is_err()); // label oob
+        assert!(InMemoryDataset::new(f, vec![0, 1, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let d = toy();
+        let (f, l) = d.batch(&[2, 0]).unwrap();
+        assert_eq!(f.dims(), &[2, 3]);
+        assert_eq!(f.as_slice(), &[6.0, 7.0, 8.0, 0.0, 1.0, 2.0]);
+        assert_eq!(l, vec![0, 0]);
+        assert!(d.batch(&[9]).is_err());
+    }
+
+    #[test]
+    fn subset_is_self_contained() {
+        let d = toy();
+        let s = d.subset(&[1, 3]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 2]);
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.sample_dims(), &[3]);
+    }
+
+    #[test]
+    fn histogram() {
+        let d = toy();
+        assert_eq!(d.class_histogram(), vec![2, 1, 1]);
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 4);
+    }
+}

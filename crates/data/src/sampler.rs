@@ -1,0 +1,196 @@
+//! Minibatch sampling, including the paper's proportional minibatch
+//! policy for data-imbalance mitigation.
+
+use medsplit_tensor::init::{rng_from_seed, StdRng};
+use rand::seq::SliceRandom;
+
+use crate::dataset::InMemoryDataset;
+
+/// How per-platform minibatch sizes are chosen.
+///
+/// The paper (§II, last paragraph): *"the minibatch size in each platform
+/// can be adjusted as the proportion of the amount of local data in each
+/// platform"* — that is [`Proportional`](MinibatchPolicy::Proportional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinibatchPolicy {
+    /// Every platform uses the same minibatch size.
+    Fixed(usize),
+    /// Platform `k` uses `s_k = max(1, round(global · n_k / Σ n))`, so one
+    /// global round touches each shard proportionally to its size.
+    Proportional {
+        /// Total minibatch size across all platforms per round.
+        global: usize,
+    },
+}
+
+impl MinibatchPolicy {
+    /// Computes the per-platform minibatch sizes for shards of the given
+    /// sizes. Each is at least 1 and no larger than its shard.
+    pub fn sizes(&self, shard_sizes: &[usize]) -> Vec<usize> {
+        match *self {
+            MinibatchPolicy::Fixed(s) => shard_sizes.iter().map(|&n| s.max(1).min(n.max(1))).collect(),
+            MinibatchPolicy::Proportional { global } => {
+                let total: usize = shard_sizes.iter().sum();
+                shard_sizes
+                    .iter()
+                    .map(|&n| {
+                        let share = (global as f64 * n as f64 / total.max(1) as f64).round() as usize;
+                        share.max(1).min(n.max(1))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// An epoch-based shuffled minibatch sampler over one platform's shard.
+///
+/// Yields index batches; reshuffles at each epoch boundary. Deterministic
+/// for a given seed.
+#[derive(Debug)]
+pub struct BatchSampler {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    epoch: usize,
+    rng: StdRng,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `n` samples with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(n > 0, "cannot sample from an empty shard");
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut rng = rng_from_seed(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        BatchSampler {
+            order,
+            batch_size: batch_size.min(n),
+            cursor: 0,
+            epoch: 0,
+            rng,
+        }
+    }
+
+    /// The effective batch size (clamped to the shard size).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of completed epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Returns the next batch of indices, wrapping (and reshuffling) at
+    /// epoch boundaries. Every returned batch has exactly `batch_size`
+    /// elements.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        let n = self.order.len();
+        if self.cursor + self.batch_size > n {
+            self.order.shuffle(&mut self.rng);
+            self.cursor = 0;
+            self.epoch += 1;
+        }
+        let batch = self.order[self.cursor..self.cursor + self.batch_size].to_vec();
+        self.cursor += self.batch_size;
+        batch
+    }
+
+    /// Fetches the next batch directly from a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sampler was built for a different dataset size.
+    pub fn next_from(&mut self, dataset: &InMemoryDataset) -> (medsplit_tensor::Tensor, Vec<usize>) {
+        assert_eq!(dataset.len(), self.order.len(), "sampler/dataset size mismatch");
+        let idx = self.next_batch();
+        dataset.batch(&idx).expect("indices in range by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticTabular;
+
+    #[test]
+    fn fixed_policy_clamps() {
+        let p = MinibatchPolicy::Fixed(32);
+        assert_eq!(p.sizes(&[100, 10, 40]), vec![32, 10, 32]);
+    }
+
+    #[test]
+    fn proportional_policy_matches_paper_formula() {
+        let p = MinibatchPolicy::Proportional { global: 64 };
+        let sizes = p.sizes(&[600, 300, 100]);
+        assert_eq!(sizes, vec![38, 19, 6]);
+        // Proportionality: sizes ≈ global · share.
+        let total: usize = sizes.iter().sum();
+        assert!((total as i64 - 64).abs() <= 2);
+    }
+
+    #[test]
+    fn proportional_policy_never_starves() {
+        let p = MinibatchPolicy::Proportional { global: 8 };
+        let sizes = p.sizes(&[1000, 1]);
+        assert_eq!(sizes[1], 1, "tiny platform must still participate");
+        assert!(sizes[0] >= 7);
+    }
+
+    #[test]
+    fn sampler_covers_every_index_each_epoch() {
+        let mut s = BatchSampler::new(10, 5, 0);
+        let mut seen: Vec<usize> = Vec::new();
+        seen.extend(s.next_batch());
+        seen.extend(s.next_batch());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.epoch(), 0);
+        let _ = s.next_batch();
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn sampler_handles_non_divisible_sizes() {
+        let mut s = BatchSampler::new(7, 3, 1);
+        for _ in 0..10 {
+            assert_eq!(s.next_batch().len(), 3);
+        }
+    }
+
+    #[test]
+    fn sampler_clamps_batch_to_shard() {
+        let s = BatchSampler::new(3, 10, 2);
+        assert_eq!(s.batch_size(), 3);
+    }
+
+    #[test]
+    fn sampler_deterministic() {
+        let mut a = BatchSampler::new(20, 4, 3);
+        let mut b = BatchSampler::new(20, 4, 3);
+        for _ in 0..8 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shard")]
+    fn sampler_rejects_empty() {
+        let _ = BatchSampler::new(0, 1, 0);
+    }
+
+    #[test]
+    fn next_from_returns_matching_batch() {
+        let ds = SyntheticTabular::new(2, 3, 0).generate(10).unwrap();
+        let mut s = BatchSampler::new(10, 4, 5);
+        let (f, l) = s.next_from(&ds);
+        assert_eq!(f.dims(), &[4, 3]);
+        assert_eq!(l.len(), 4);
+    }
+}

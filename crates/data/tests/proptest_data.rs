@@ -1,0 +1,93 @@
+//! Property-based tests for dataset generation, partitioning and
+//! sampling.
+
+use medsplit_data::{partition, BatchSampler, MinibatchPolicy, Partition, SyntheticImages, SyntheticTabular};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every partition mode conserves every sample exactly once and never
+    /// creates an empty shard.
+    #[test]
+    fn partition_conserves_samples(n in 20usize..120, k in 1usize..6, mode_sel in 0usize..3, seed in 0u64..300) {
+        let ds = SyntheticTabular::new(4, 3, seed).generate(n).unwrap();
+        let mode = match mode_sel {
+            0 => Partition::Iid,
+            1 => Partition::PowerLaw { alpha: 1.5 },
+            _ => Partition::Dirichlet { alpha: 0.5 },
+        };
+        prop_assume!(k <= n);
+        let shards = partition(&ds, k, &mode, seed).unwrap();
+        prop_assert_eq!(shards.len(), k);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        // Class histograms also sum to the global histogram.
+        let global = ds.class_histogram();
+        let mut acc = vec![0usize; global.len()];
+        for s in &shards {
+            for (a, b) in acc.iter_mut().zip(s.class_histogram()) {
+                *a += b;
+            }
+        }
+        prop_assert_eq!(acc, global);
+    }
+
+    /// Proportional minibatches sum close to the requested global batch
+    /// and never starve a platform.
+    #[test]
+    fn proportional_minibatch_invariants(sizes in prop::collection::vec(1usize..500, 1..8), global in 2usize..128) {
+        let policy = MinibatchPolicy::Proportional { global };
+        let batches = policy.sizes(&sizes);
+        prop_assert_eq!(batches.len(), sizes.len());
+        for (b, n) in batches.iter().zip(&sizes) {
+            prop_assert!(*b >= 1, "starved platform");
+            prop_assert!(b <= n, "batch larger than shard");
+        }
+        // Allocation roughly follows shares: no platform exceeds its
+        // proportional share by more than 1 + rounding.
+        let total: usize = sizes.iter().sum();
+        for (b, n) in batches.iter().zip(&sizes) {
+            let share = global as f64 * *n as f64 / total as f64;
+            prop_assert!((*b as f64) <= share.ceil() + 1.0, "batch {} vs share {}", b, share);
+        }
+    }
+
+    /// A sampler visits every index exactly once per epoch.
+    #[test]
+    fn sampler_covers_each_epoch(n in 2usize..60, batch in 1usize..12, seed in 0u64..300) {
+        prop_assume!(batch <= n && n % batch == 0);
+        let mut s = BatchSampler::new(n, batch, seed);
+        let mut seen = vec![0usize; n];
+        for _ in 0..(n / batch) {
+            for i in s.next_batch() {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    /// Image generation is shape-correct and label-balanced for any size.
+    #[test]
+    fn image_generation_invariants(classes in 2usize..12, n_mult in 1usize..6, seed in 0u64..200) {
+        let n = classes * n_mult;
+        let ds = SyntheticImages::lite(classes, seed).generate(n).unwrap();
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(ds.sample_dims(), &[3, 16, 16]);
+        let hist = ds.class_histogram();
+        prop_assert!(hist.iter().all(|&c| c == n_mult), "{hist:?}");
+        prop_assert!(ds.features().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Subset then batch equals batch of mapped indices.
+    #[test]
+    fn subset_consistency(n in 10usize..50, seed in 0u64..200) {
+        let ds = SyntheticTabular::new(3, 4, seed).generate(n).unwrap();
+        let idx: Vec<usize> = (0..n).step_by(3).collect();
+        let sub = ds.subset(&idx).unwrap();
+        let (direct, labels_direct) = ds.batch(&idx).unwrap();
+        let all: Vec<usize> = (0..sub.len()).collect();
+        let (via_sub, labels_sub) = sub.batch(&all).unwrap();
+        prop_assert_eq!(direct, via_sub);
+        prop_assert_eq!(labels_direct, labels_sub);
+    }
+}

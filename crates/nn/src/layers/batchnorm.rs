@@ -1,0 +1,304 @@
+//! Batch normalisation over features (`[N, C]`) or channels
+//! (`[N, C, H, W]`).
+
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+use crate::layer::{missing_cache, Layer, Mode};
+use crate::param::Param;
+
+/// Batch normalisation with learnable scale (`gamma`) and shift (`beta`)
+/// and running statistics for evaluation mode.
+///
+/// For rank-2 inputs statistics are taken per feature over the batch; for
+/// rank-4 (`NCHW`) inputs they are taken per channel over batch and space.
+#[derive(Debug)]
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    num_features: usize,
+    /// Cached normalised activations from the training forward pass.
+    cached_xhat: Option<Tensor>,
+    /// Cached `1 / sqrt(var + eps)` per feature.
+    cached_inv_std: Option<Vec<f32>>,
+    /// Shape of the last training input.
+    cached_dims: Option<Vec<usize>>,
+    /// Whether the last forward ran in eval mode (changes the backward
+    /// formula: running stats are constants w.r.t. the input).
+    last_was_eval: bool,
+}
+
+/// Layout helper: interprets a rank-2 or rank-4 tensor as
+/// `(groups, features, inner)` where statistics are per-feature over
+/// `groups × inner` elements.
+fn layout(dims: &[usize], num_features: usize, op: &'static str) -> Result<(usize, usize)> {
+    match dims.len() {
+        2 if dims[1] == num_features => Ok((dims[0], 1)),
+        4 if dims[1] == num_features => Ok((dims[0], dims[2] * dims[3])),
+        _ => Err(TensorError::ShapeMismatch {
+            lhs: medsplit_tensor::Shape::from(dims),
+            rhs: medsplit_tensor::Shape::from([num_features]),
+            op,
+        }),
+    }
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `num_features` features/channels.
+    pub fn new(num_features: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(Tensor::ones([num_features]), format!("bn{num_features}.gamma")),
+            beta: Param::new(Tensor::zeros([num_features]), format!("bn{num_features}.beta")),
+            running_mean: Tensor::zeros([num_features]),
+            running_var: Tensor::ones([num_features]),
+            momentum: 0.1,
+            eps: 1e-5,
+            num_features,
+            cached_xhat: None,
+            cached_inv_std: None,
+            cached_dims: None,
+            last_was_eval: false,
+        }
+    }
+
+    /// Number of normalised features/channels.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Current running mean (used in eval mode).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Current running variance (used in eval mode).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let dims = input.dims().to_vec();
+        let (n, inner) = layout(&dims, self.num_features, "BatchNorm::forward")?;
+        let c = self.num_features;
+        let count = (n * inner) as f32;
+        let src = input.as_slice();
+
+        // Per-feature mean and variance to normalise with.
+        let (mean, var): (Vec<f32>, Vec<f32>) = if mode == Mode::Train {
+            let mut mean = vec![0.0f32; c];
+            for g in 0..n {
+                for (f, m) in mean.iter_mut().enumerate() {
+                    let base = (g * c + f) * inner;
+                    *m += src[base..base + inner].iter().sum::<f32>();
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            let mut var = vec![0.0f32; c];
+            for g in 0..n {
+                for f in 0..c {
+                    let base = (g * c + f) * inner;
+                    for &v in &src[base..base + inner] {
+                        let d = v - mean[f];
+                        var[f] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            // Update running stats with exponential moving average.
+            for f in 0..c {
+                let rm = &mut self.running_mean.as_mut_slice()[f];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean[f];
+                let rv = &mut self.running_var.as_mut_slice()[f];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var[f];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut out = Tensor::zeros(input.shape().clone());
+        let mut xhat = Tensor::zeros(input.shape().clone());
+        {
+            let o = out.as_mut_slice();
+            let xh = xhat.as_mut_slice();
+            for g in 0..n {
+                for f in 0..c {
+                    let base = (g * c + f) * inner;
+                    let (m, is, ga, be) = (mean[f], inv_std[f], gamma[f], beta[f]);
+                    for i in base..base + inner {
+                        let h = (src[i] - m) * is;
+                        xh[i] = h;
+                        o[i] = ga * h + be;
+                    }
+                }
+            }
+        }
+        self.last_was_eval = mode == Mode::Eval;
+        if mode == Mode::Train {
+            self.cached_xhat = Some(xhat);
+            self.cached_inv_std = Some(inv_std);
+            self.cached_dims = Some(dims);
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let xhat = self
+            .cached_xhat
+            .as_ref()
+            .ok_or_else(|| missing_cache("BatchNorm"))?;
+        let inv_std = self
+            .cached_inv_std
+            .as_ref()
+            .ok_or_else(|| missing_cache("BatchNorm"))?;
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| missing_cache("BatchNorm"))?;
+        if grad_out.dims() != &dims[..] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_out.shape().clone(),
+                rhs: xhat.shape().clone(),
+                op: "BatchNorm::backward",
+            });
+        }
+        let (n, inner) = layout(dims, self.num_features, "BatchNorm::backward")?;
+        let c = self.num_features;
+        let count = (n * inner) as f32;
+        let g = grad_out.as_slice();
+        let xh = xhat.as_slice();
+        let gamma = self.gamma.value.as_slice().to_vec();
+
+        // dgamma[f] = Σ g·xhat, dbeta[f] = Σ g, plus the per-feature sums the
+        // input gradient needs.
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for grp in 0..n {
+            for f in 0..c {
+                let base = (grp * c + f) * inner;
+                for i in base..base + inner {
+                    sum_g[f] += g[i];
+                    sum_gx[f] += g[i] * xh[i];
+                }
+            }
+        }
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(sum_gx.clone(), [c])?);
+        self.beta.accumulate_grad(&Tensor::from_vec(sum_g.clone(), [c])?);
+
+        let mut grad_in = Tensor::zeros(grad_out.shape().clone());
+        let gi = grad_in.as_mut_slice();
+        for grp in 0..n {
+            for f in 0..c {
+                let base = (grp * c + f) * inner;
+                let k = gamma[f] * inv_std[f];
+                let mg = sum_g[f] / count;
+                let mgx = sum_gx[f] / count;
+                for i in base..base + inner {
+                    gi[i] = k * (g[i] - mg - xh[i] * mgx);
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn describe(&self) -> String {
+        format!("batchnorm({})", self.num_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_tensor::init::rng_from_seed;
+
+    #[test]
+    fn normalises_batch_in_train_mode() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = rng_from_seed(0);
+        let x = Tensor::rand_normal([64, 2], 5.0, 3.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let (mean, var) = y.column_stats().unwrap();
+        for f in 0..2 {
+            assert!(mean.as_slice()[f].abs() < 1e-3, "mean {:?}", mean);
+            assert!((var.as_slice()[f] - 1.0).abs() < 1e-2, "var {:?}", var);
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_stats() {
+        let mut bn = BatchNorm::new(1);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..200 {
+            let x = Tensor::rand_normal([32, 1], 2.0, 1.5, &mut rng);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        assert!((bn.running_mean().as_slice()[0] - 2.0).abs() < 0.3);
+        assert!((bn.running_var().as_slice()[0] - 2.25).abs() < 0.6);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        // Without any training, running stats are mean 0 / var 1, so eval is
+        // identity up to eps.
+        let x = Tensor::from_vec(vec![1.0, -1.0], [2, 1]).unwrap();
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        assert!(y.allclose(&x, 1e-3));
+    }
+
+    #[test]
+    fn gradcheck_2d() {
+        crate::gradcheck::check_layer(|| BatchNorm::new(3), &[4, 3], 1e-2, 3e-2).unwrap();
+    }
+
+    #[test]
+    fn gradcheck_4d() {
+        crate::gradcheck::check_layer(|| BatchNorm::new(2), &[2, 2, 3, 3], 1e-2, 3e-2).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let mut bn = BatchNorm::new(3);
+        assert!(bn.forward(&Tensor::ones([2, 4]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::ones([2, 4, 2, 2]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::ones([6]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut bn = BatchNorm::new(2);
+        assert!(bn.backward(&Tensor::ones([2, 2])).is_err());
+    }
+
+    #[test]
+    fn param_count() {
+        let mut bn = BatchNorm::new(8);
+        assert_eq!(bn.param_count(), 16);
+    }
+}

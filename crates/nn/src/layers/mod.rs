@@ -1,0 +1,9 @@
+//! Individual layer implementations.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv2d;
+pub mod dense;
+pub mod dropout;
+pub mod pool;
+pub mod residual;

@@ -1,0 +1,152 @@
+//! Loss functions.
+//!
+//! Losses return both the scalar loss and the gradient with respect to the
+//! logits, because in the split protocol the *platform* computes the loss
+//! (it owns the labels) and transmits exactly this gradient back to the
+//! server — message 3 of the paper's four-message round.
+
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+/// Result of a loss evaluation: the mean loss and the gradient w.r.t. the
+/// predictions.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `d loss / d predictions`, same shape as the predictions.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over integer class labels.
+///
+/// `logits` is `[N, K]`; `labels` holds `N` class indices `< K`. The
+/// returned gradient is `(softmax(logits) - onehot(labels)) / N`.
+///
+/// # Errors
+///
+/// Returns shape errors for rank ≠ 2 logits, a label count ≠ `N`, or any
+/// out-of-range label.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+            op: "softmax_cross_entropy",
+        });
+    }
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(TensorError::LengthMismatch {
+            expected: n,
+            actual: labels.len(),
+        });
+    }
+    let log_probs = logits.log_softmax_rows()?;
+    let mut grad = log_probs.exp(); // softmax
+    let mut loss = 0.0f32;
+    let g = grad.as_mut_slice();
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= k {
+            return Err(TensorError::IndexOutOfBounds { index: label, dim: k });
+        }
+        loss -= log_probs.as_slice()[i * k + label];
+        g[i * k + label] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    grad.scale_inplace(inv_n);
+    Ok(LossOutput {
+        loss: loss * inv_n,
+        grad,
+    })
+}
+
+/// Mean squared error between predictions and targets of the same shape.
+/// The gradient is `2 (pred - target) / numel`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<LossOutput> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: pred.shape().clone(),
+            rhs: target.shape().clone(),
+            op: "mse",
+        });
+    }
+    let diff = pred.try_sub(target)?;
+    let n = pred.numel().max(1) as f32;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok(LossOutput { loss, grad })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over K classes -> loss = ln K.
+        let logits = Tensor::zeros([2, 4]);
+        let out = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let row_sum: f32 = out.grad.row(i).unwrap().sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_prediction() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], [1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3);
+        assert!(out.grad.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_numerical() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 1.2, -0.7, 0.1, 0.9], [2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-2;
+        for ci in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[ci] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[ci] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).unwrap().loss
+                - softmax_cross_entropy(&lm, &labels).unwrap().loss)
+                / (2.0 * eps);
+            let ana = out.grad.as_slice()[ci];
+            assert!((num - ana).abs() < 1e-3, "coord {ci}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        assert!(softmax_cross_entropy(&Tensor::zeros([4]), &[0]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([2, 3]), &[0]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([2, 3]), &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 0.0], [2]).unwrap();
+        let out = mse(&pred, &target).unwrap();
+        assert!((out.loss - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.as_slice(), &[1.0, 2.0]);
+        assert!(mse(&pred, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn mse_zero_at_optimum() {
+        let t = Tensor::arange(5);
+        let out = mse(&t, &t).unwrap();
+        assert_eq!(out.loss, 0.0);
+        assert_eq!(out.grad.norm(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-layer perceptrons.
+
+use medsplit_tensor::init::rng_from_seed;
+
+use crate::layers::activation::Activation;
+use crate::layers::dense::Dense;
+use crate::sequential::Sequential;
+
+/// Configuration of a plain MLP classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Hidden layer widths, in order.
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl MlpConfig {
+    /// A small default MLP for tabular experiments.
+    pub fn small(input_dim: usize, num_classes: usize) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: vec![64, 32],
+            num_classes,
+        }
+    }
+
+    /// Builds the network deterministically from a seed.
+    ///
+    /// Layer layout: `[dense, relu] × hidden.len(), dense` — so the paper's
+    /// split point (keep the first hidden layer on the platform) is layer
+    /// index 2, as reported by [`default_split`](Self::default_split).
+    pub fn build(&self, seed: u64) -> Sequential {
+        let mut rng = rng_from_seed(seed);
+        let mut model = Sequential::new("mlp");
+        let mut prev = self.input_dim;
+        for &width in &self.hidden {
+            model.push(Dense::new(prev, width, &mut rng));
+            model.push(Activation::relu());
+            prev = width;
+        }
+        model.push(Dense::new(prev, self.num_classes, &mut rng));
+        model
+    }
+
+    /// Layer index of the paper's cut: just after the first hidden layer's
+    /// activation (or after the only dense layer if there are no hidden
+    /// layers).
+    pub fn default_split(&self) -> usize {
+        if self.hidden.is_empty() {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        let mut total = 0;
+        let mut prev = self.input_dim;
+        for &w in &self.hidden {
+            total += prev * w + w;
+            prev = w;
+        }
+        total + prev * self.num_classes + self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use medsplit_tensor::Tensor;
+
+    #[test]
+    fn builds_expected_layers() {
+        let cfg = MlpConfig {
+            input_dim: 10,
+            hidden: vec![20, 30],
+            num_classes: 5,
+        };
+        let mut model = cfg.build(0);
+        assert_eq!(model.len(), 5);
+        let y = model.forward(&Tensor::zeros([2, 10]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 5]);
+        assert_eq!(model.param_count(), cfg.param_count());
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let cfg = MlpConfig {
+            input_dim: 4,
+            hidden: vec![8],
+            num_classes: 3,
+        };
+        assert_eq!(cfg.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let cfg = MlpConfig::small(6, 2);
+        let mut a = cfg.build(7);
+        let mut b = cfg.build(7);
+        let va = crate::vectorize::parameter_vector(&mut a);
+        let vb = crate::vectorize::parameter_vector(&mut b);
+        assert_eq!(va, vb);
+        let mut c = cfg.build(8);
+        assert_ne!(va, crate::vectorize::parameter_vector(&mut c));
+    }
+
+    #[test]
+    fn default_split_is_after_first_hidden() {
+        let cfg = MlpConfig::small(6, 2);
+        assert_eq!(cfg.default_split(), 2);
+        let mut model = cfg.build(0);
+        let server = model.split_off(cfg.default_split());
+        assert_eq!(model.layer_summaries(), vec!["dense(6->64)", "relu"]);
+        assert!(server.layer_summaries()[0].contains("64->32"));
+    }
+
+    #[test]
+    fn no_hidden_layers() {
+        let cfg = MlpConfig {
+            input_dim: 3,
+            hidden: vec![],
+            num_classes: 2,
+        };
+        let mut model = cfg.build(0);
+        assert_eq!(model.len(), 1);
+        assert_eq!(cfg.default_split(), 1);
+        assert_eq!(model.param_count(), 3 * 2 + 2);
+    }
+}

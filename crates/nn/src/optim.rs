@@ -1,0 +1,320 @@
+//! Optimisers: SGD (with momentum/Nesterov/weight decay) and Adam.
+
+use medsplit_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// An optimiser updates a model's parameters from their accumulated
+/// gradients.
+///
+/// Per-parameter state (momentum buffers, Adam moments) is keyed by the
+/// parameter's position in the model's stable visitation order, allocated
+/// lazily on the first step.
+pub trait Optimizer: Send {
+    /// Applies one update and leaves the gradients untouched (call
+    /// [`Layer::zero_grads`] afterwards, or use [`step_and_zero`](Optimizer::step_and_zero)).
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Convenience: step, then zero the gradients.
+    fn step_and_zero(&mut self, model: &mut dyn Layer) {
+        self.step(model);
+        model.zero_grads();
+    }
+}
+
+/// Stochastic gradient descent with optional momentum, Nesterov lookahead
+/// and decoupled L2 weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    nesterov: bool,
+    weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            nesterov: false,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables Nesterov lookahead (requires momentum > 0 to matter).
+    pub fn with_nesterov(mut self) -> Self {
+        self.nesterov = true;
+        self
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let nesterov = self.nesterov;
+        let wd = self.weight_decay;
+        let velocities = &mut self.velocities;
+        model.visit_params(&mut |p| {
+            if velocities.len() <= idx {
+                velocities.push(Tensor::zeros(p.value.shape().clone()));
+            }
+            let v = &mut velocities[idx];
+            debug_assert_eq!(v.shape(), p.value.shape(), "optimizer state shape drift");
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let vel = v.as_mut_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + wd * value[i];
+                if momentum > 0.0 {
+                    vel[i] = momentum * vel[i] + g;
+                    let step = if nesterov { g + momentum * vel[i] } else { vel[i] };
+                    value[i] -= lr * step;
+                } else {
+                    value[i] -= lr * g;
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Overrides the exponential-decay coefficients.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        model.visit_params(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape().clone()));
+                vs.push(Tensor::zeros(p.value.shape().clone()));
+            }
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            for i in 0..value.len() {
+                let g = grad[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                value[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::layers::dense::Dense;
+    use crate::loss::softmax_cross_entropy;
+    use crate::sequential::Sequential;
+    use medsplit_tensor::init::rng_from_seed;
+
+    fn quadratic_layer(start: f32) -> Dense {
+        // Single scalar weight, no bias contribution: y = w x.
+        Dense::from_parts(Tensor::from_vec(vec![start], [1, 1]).unwrap(), Tensor::zeros([1])).unwrap()
+    }
+
+    /// Minimise (w - 3)² by feeding the gradient manually.
+    fn converges<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
+        use crate::layer::Layer;
+        let mut layer = quadratic_layer(0.0);
+        for _ in 0..steps {
+            let mut w = 0.0;
+            layer.visit_params(&mut |p| {
+                if p.name.ends_with("weight") {
+                    w = p.value.as_slice()[0];
+                }
+            });
+            layer.visit_params(&mut |p| {
+                if p.name.ends_with("weight") {
+                    p.grad.as_mut_slice()[0] = 2.0 * (w - 3.0);
+                }
+            });
+            opt.step_and_zero(&mut layer);
+        }
+        let mut w = 0.0;
+        layer.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                w = p.value.as_slice()[0];
+            }
+        });
+        w
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        let w = converges(Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_minimises_quadratic() {
+        let w = converges(Sgd::new(0.05).with_momentum(0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_nesterov_minimises_quadratic() {
+        let w = converges(Sgd::new(0.05).with_momentum(0.9).with_nesterov(), 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        let w = converges(Adam::new(0.3), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        use crate::layer::Layer;
+        let mut layer = quadratic_layer(10.0);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        // No data gradient: only decay acts.
+        for _ in 0..50 {
+            opt.step_and_zero(&mut layer);
+        }
+        let mut w = 10.0;
+        layer.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                w = p.value.as_slice()[0];
+            }
+        });
+        assert!(w.abs() < 1.0, "decay failed, w = {w}");
+    }
+
+    #[test]
+    fn lr_getter_setter() {
+        let mut s = Sgd::new(0.1);
+        assert_eq!(s.learning_rate(), 0.1);
+        s.set_learning_rate(0.01);
+        assert_eq!(s.learning_rate(), 0.01);
+        let mut a = Adam::new(0.001);
+        a.set_learning_rate(0.1);
+        assert_eq!(a.learning_rate(), 0.1);
+    }
+
+    /// End-to-end sanity: a small MLP fits a toy classification task.
+    #[test]
+    fn sgd_trains_mlp_on_separable_data() {
+        use crate::layer::Layer;
+        let mut rng = rng_from_seed(0);
+        let mut model = Sequential::new("mlp");
+        model.push(Dense::new(2, 16, &mut rng));
+        model.push(crate::layers::activation::Activation::relu());
+        model.push(Dense::new(16, 2, &mut rng));
+        let mut opt = Sgd::new(0.5).with_momentum(0.9);
+
+        // Two Gaussian blobs.
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -1.0 } else { 1.0 };
+            xs.push(cx + 0.3 * ((i * 7 % 13) as f32 / 13.0 - 0.5));
+            xs.push(cx + 0.3 * ((i * 11 % 17) as f32 / 17.0 - 0.5));
+            labels.push(class);
+        }
+        let x = Tensor::from_vec(xs, [n, 2]).unwrap();
+
+        let mut last_loss = f32::INFINITY;
+        for epoch in 0..60 {
+            let logits = model.forward(&x, Mode::Train).unwrap();
+            let out = softmax_cross_entropy(&logits, &labels).unwrap();
+            model.backward(&out.grad).unwrap();
+            opt.step_and_zero(&mut model);
+            if epoch == 0 {
+                last_loss = out.loss;
+            }
+        }
+        let logits = model.forward(&x, Mode::Eval).unwrap();
+        let final_loss = softmax_cross_entropy(&logits, &labels).unwrap().loss;
+        assert!(final_loss < last_loss * 0.5, "loss {last_loss} -> {final_loss}");
+        let preds = logits.argmax_rows().unwrap();
+        let correct = preds.iter().zip(&labels).filter(|(a, b)| a == b).count();
+        assert!(correct as f32 / n as f32 > 0.95, "accuracy {}/{n}", correct);
+    }
+}

@@ -1,0 +1,83 @@
+//! Trainable parameters: a value tensor paired with its gradient.
+
+use medsplit_tensor::Tensor;
+
+/// A trainable parameter: the value and its accumulated gradient.
+///
+/// Layers own their `Param`s; optimisers and the distributed protocols reach
+/// them through [`Layer::visit_params`](crate::Layer::visit_params), which
+/// guarantees a stable visitation order for a fixed architecture — the
+/// property the parameter-vector (de)serialisation in [`crate::vectorize`]
+/// relies on.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient, always the same shape as `value`.
+    pub grad: Tensor,
+    /// Human-readable name (`"conv1.weight"`, ...) for debugging.
+    pub name: String,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor, name: impl Into<String>) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            value,
+            grad,
+            name: name.into(),
+        }
+    }
+
+    /// Number of scalar entries.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        self.grad
+            .add_assign(g)
+            .expect("gradient shape matches parameter shape");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones([2, 3]), "w");
+        assert_eq!(p.grad.as_slice(), &[0.0; 6]);
+        assert_eq!(p.numel(), 6);
+        assert_eq!(p.name, "w");
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new(Tensor::zeros([2]), "b");
+        p.accumulate_grad(&Tensor::ones([2]));
+        p.accumulate_grad(&Tensor::ones([2]));
+        assert_eq!(p.grad.as_slice(), &[2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn accumulate_wrong_shape_panics() {
+        let mut p = Param::new(Tensor::zeros([2]), "b");
+        p.accumulate_grad(&Tensor::ones([3]));
+    }
+}

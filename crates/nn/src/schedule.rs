@@ -1,0 +1,141 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps a global step index to a learning rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// The same rate forever.
+    Constant(f32),
+    /// Multiplies the base rate by `gamma` every `step_size` steps.
+    StepDecay {
+        /// Initial learning rate.
+        base: f32,
+        /// Steps between decays.
+        step_size: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from `base` to `min` over `total_steps`.
+    Cosine {
+        /// Initial learning rate.
+        base: f32,
+        /// Final learning rate.
+        min: f32,
+        /// Steps over which to anneal; later steps stay at `min`.
+        total_steps: usize,
+    },
+    /// Linear warmup to `base` over `warmup` steps, constant afterwards.
+    Warmup {
+        /// Peak learning rate after warmup.
+        base: f32,
+        /// Number of warmup steps.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay {
+                base,
+                step_size,
+                gamma,
+            } => base * gamma.powi((step / step_size.max(1)) as i32),
+            LrSchedule::Cosine {
+                base,
+                min,
+                total_steps,
+            } => {
+                if total_steps == 0 || step >= total_steps {
+                    min
+                } else {
+                    let progress = step as f32 / total_steps as f32;
+                    min + 0.5 * (base - min) * (1.0 + (std::f32::consts::PI * progress).cos())
+                }
+            }
+            LrSchedule::Warmup { base, warmup } => {
+                if warmup == 0 || step >= warmup {
+                    base
+                } else {
+                    base * (step + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            step_size: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(20), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = LrSchedule::Cosine {
+            base: 1.0,
+            min: 0.1,
+            total_steps: 100,
+        };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(10_000) - 0.1).abs() < 1e-6);
+        let mut prev = s.lr_at(0);
+        for step in 1..=100 {
+            let cur = s.lr_at(step);
+            assert!(cur <= prev + 1e-6, "not monotone at {step}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { base: 0.8, warmup: 4 };
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6);
+        assert!((s.lr_at(1) - 0.4).abs() < 1e-6);
+        assert!((s.lr_at(3) - 0.8).abs() < 1e-6);
+        assert_eq!(s.lr_at(4), 0.8);
+        assert_eq!(LrSchedule::Warmup { base: 0.8, warmup: 0 }.lr_at(0), 0.8);
+    }
+
+    #[test]
+    fn degenerate_params_do_not_panic() {
+        assert_eq!(
+            LrSchedule::StepDecay {
+                base: 1.0,
+                step_size: 0,
+                gamma: 0.5
+            }
+            .lr_at(5),
+            1.0 * 0.5f32.powi(5)
+        );
+        assert_eq!(
+            LrSchedule::Cosine {
+                base: 1.0,
+                min: 0.0,
+                total_steps: 0
+            }
+            .lr_at(0),
+            0.0
+        );
+    }
+}

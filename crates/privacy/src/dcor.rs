@@ -1,0 +1,193 @@
+//! Distance correlation (Székely et al.) between raw inputs and smashed
+//! activations.
+//!
+//! Distance correlation is the standard statistic used in the split-
+//! learning literature (e.g. Vepakomma et al., the paper's reference [1])
+//! to quantify how much information about the raw input survives in the
+//! transmitted activations: 0 means statistical independence, 1 means a
+//! deterministic linear relationship.
+
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+/// Pairwise Euclidean distance matrix of row-vectors.
+fn distance_matrix(x: &Tensor) -> Result<Vec<f64>> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank(),
+            op: "distance_matrix",
+        });
+    }
+    let (n, d) = (x.dims()[0], x.dims()[1]);
+    let data = x.as_slice();
+    let mut out = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0f64;
+            for k in 0..d {
+                let diff = (data[i * d + k] - data[j * d + k]) as f64;
+                acc += diff * diff;
+            }
+            let dist = acc.sqrt();
+            out[i * n + j] = dist;
+            out[j * n + i] = dist;
+        }
+    }
+    Ok(out)
+}
+
+/// Double-centers a distance matrix in place and returns it.
+fn double_center(mut a: Vec<f64>, n: usize) -> Vec<f64> {
+    let mut row_mean = vec![0.0f64; n];
+    let mut grand = 0.0f64;
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[i * n + j];
+        }
+        row_mean[i] = s / n as f64;
+        grand += s;
+    }
+    grand /= (n * n) as f64;
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] += grand - row_mean[i] - row_mean[j];
+        }
+    }
+    a
+}
+
+/// Distance correlation between the rows of `x` and the rows of `y`
+/// (both `[n, *]`, flattened per sample beforehand by the caller if
+/// needed). Returns a value in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns shape errors for non-matrix inputs, mismatched row counts, or
+/// fewer than 2 samples.
+pub fn distance_correlation(x: &Tensor, y: &Tensor) -> Result<f64> {
+    if x.rank() != 2 || y.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.rank().max(y.rank()),
+            op: "distance_correlation",
+        });
+    }
+    let n = x.dims()[0];
+    if y.dims()[0] != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().clone(),
+            rhs: y.shape().clone(),
+            op: "distance_correlation",
+        });
+    }
+    if n < 2 {
+        return Err(TensorError::Numerical(
+            "distance correlation needs at least 2 samples".into(),
+        ));
+    }
+    let a = double_center(distance_matrix(x)?, n);
+    let b = double_center(distance_matrix(y)?, n);
+    let m = (n * n) as f64;
+    let mut dcov2 = 0.0f64;
+    let mut dvar_x = 0.0f64;
+    let mut dvar_y = 0.0f64;
+    for (av, bv) in a.iter().zip(&b) {
+        dcov2 += av * bv;
+        dvar_x += av * av;
+        dvar_y += bv * bv;
+    }
+    dcov2 /= m;
+    dvar_x /= m;
+    dvar_y /= m;
+    let denom = (dvar_x * dvar_y).sqrt();
+    if denom <= f64::EPSILON {
+        return Ok(0.0);
+    }
+    Ok((dcov2.max(0.0) / denom).sqrt().clamp(0.0, 1.0))
+}
+
+/// Flattens each sample of an arbitrary-rank batch to a row, producing the
+/// `[n, d]` matrix [`distance_correlation`] expects.
+///
+/// # Errors
+///
+/// Returns a rank error for rank-0 input.
+pub fn flatten_samples(batch: &Tensor) -> Result<Tensor> {
+    if batch.rank() == 0 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: 0,
+            op: "flatten_samples",
+        });
+    }
+    let n = batch.dims()[0];
+    let inner: usize = batch.dims()[1..].iter().product();
+    batch.reshape([n, inner])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_tensor::init::rng_from_seed;
+
+    #[test]
+    fn identical_data_has_dcor_one() {
+        let mut rng = rng_from_seed(0);
+        let x = Tensor::rand_uniform([30, 4], -1.0, 1.0, &mut rng);
+        let d = distance_correlation(&x, &x).unwrap();
+        assert!((d - 1.0).abs() < 1e-6, "dcor {d}");
+    }
+
+    #[test]
+    fn linear_map_has_high_dcor() {
+        let mut rng = rng_from_seed(1);
+        let x = Tensor::rand_uniform([40, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([4, 6], -1.0, 1.0, &mut rng);
+        let y = x.matmul(&w).unwrap();
+        let d = distance_correlation(&x, &y).unwrap();
+        assert!(d > 0.8, "dcor {d}");
+    }
+
+    #[test]
+    fn independent_data_has_low_dcor() {
+        let mut rng = rng_from_seed(2);
+        let x = Tensor::rand_uniform([60, 4], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform([60, 4], -1.0, 1.0, &mut rng);
+        let d = distance_correlation(&x, &y).unwrap();
+        assert!(d < 0.4, "dcor {d}");
+    }
+
+    #[test]
+    fn dcor_is_symmetric() {
+        let mut rng = rng_from_seed(3);
+        let x = Tensor::rand_uniform([20, 3], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform([20, 5], -1.0, 1.0, &mut rng);
+        let a = distance_correlation(&x, &y).unwrap();
+        let b = distance_correlation(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_data_yields_zero() {
+        let x = Tensor::ones([10, 3]);
+        let mut rng = rng_from_seed(4);
+        let y = Tensor::rand_uniform([10, 3], -1.0, 1.0, &mut rng);
+        assert_eq!(distance_correlation(&x, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let x = Tensor::ones([4, 2]);
+        assert!(distance_correlation(&x, &Tensor::ones([5, 2])).is_err());
+        assert!(distance_correlation(&Tensor::ones([1, 2]), &Tensor::ones([1, 2])).is_err());
+        assert!(distance_correlation(&Tensor::ones([4]), &x).is_err());
+    }
+
+    #[test]
+    fn flatten_samples_shapes() {
+        let b = Tensor::zeros([5, 3, 2, 2]);
+        assert_eq!(flatten_samples(&b).unwrap().dims(), &[5, 12]);
+        assert!(flatten_samples(&Tensor::scalar(1.0)).is_err());
+    }
+}

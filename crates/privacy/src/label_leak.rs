@@ -1,0 +1,112 @@
+//! Label leakage from the protocol's gradient messages.
+//!
+//! The paper's message 3 transmits the loss gradient w.r.t. the logits,
+//! which for softmax cross-entropy is `(softmax(z) - onehot(y)) / n`:
+//! **the single negative entry in each row is exactly the label**. An
+//! honest-but-curious server can therefore read every training label —
+//! the raw images stay private, but the diagnoses do not.
+//!
+//! This module implements that attack, so the evaluation can demonstrate
+//! it against the standard protocol and show that the U-shaped variant
+//! (where only *feature* gradients cross the wire) defeats it.
+
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+/// The label-recovery attack on a logit-gradient batch: returns the
+/// column index of the minimum (most negative) entry per row.
+///
+/// Against softmax cross-entropy gradients this recovers the true label
+/// whenever the model's confidence in the true class is below ~1
+/// (always, in practice).
+///
+/// # Errors
+///
+/// Returns a rank error for non-matrix input.
+pub fn recover_labels_from_gradients(grads: &Tensor) -> Result<Vec<usize>> {
+    if grads.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: grads.rank(),
+            op: "recover_labels",
+        });
+    }
+    let (n, k) = (grads.dims()[0], grads.dims()[1]);
+    let data = grads.as_slice();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &data[i * k..(i + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v < row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Fraction of labels the gradient attack recovers.
+///
+/// # Errors
+///
+/// Returns shape errors for inconsistent inputs.
+pub fn label_recovery_rate(grads: &Tensor, true_labels: &[usize]) -> Result<f32> {
+    let recovered = recover_labels_from_gradients(grads)?;
+    if recovered.len() != true_labels.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: recovered.len(),
+            actual: true_labels.len(),
+        });
+    }
+    if true_labels.is_empty() {
+        return Ok(0.0);
+    }
+    let hits = recovered.iter().zip(true_labels).filter(|(a, b)| a == b).count();
+    Ok(hits as f32 / true_labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_nn::softmax_cross_entropy;
+    use medsplit_tensor::init::rng_from_seed;
+
+    #[test]
+    fn softmax_ce_gradients_leak_every_label() {
+        let mut rng = rng_from_seed(0);
+        let logits = Tensor::rand_uniform([32, 10], -3.0, 3.0, &mut rng);
+        let labels: Vec<usize> = (0..32).map(|i| (i * 7) % 10).collect();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let rate = label_recovery_rate(&out.grad, &labels).unwrap();
+        assert_eq!(rate, 1.0, "the standard protocol's message 3 reveals all labels");
+    }
+
+    #[test]
+    fn leak_survives_gradient_scaling() {
+        // The aggregate-scheduling re-weighting does not hide the sign.
+        let mut rng = rng_from_seed(1);
+        let logits = Tensor::rand_uniform([16, 5], -2.0, 2.0, &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| i % 5).collect();
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let scaled = out.grad.scale(0.25);
+        assert_eq!(label_recovery_rate(&scaled, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn random_gradients_recover_at_chance() {
+        let mut rng = rng_from_seed(2);
+        let grads = Tensor::rand_uniform([200, 10], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..200).map(|i| i % 10).collect();
+        let rate = label_recovery_rate(&grads, &labels).unwrap();
+        assert!(rate < 0.25, "chance-level expected, got {rate}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(recover_labels_from_gradients(&Tensor::ones([4])).is_err());
+        let g = Tensor::ones([2, 3]);
+        assert!(label_recovery_rate(&g, &[0]).is_err());
+        assert_eq!(label_recovery_rate(&Tensor::zeros([0, 3]), &[]).unwrap(), 0.0);
+    }
+}

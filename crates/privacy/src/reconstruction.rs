@@ -1,0 +1,143 @@
+//! Linear reconstruction attack: how well can an honest-but-curious
+//! server recover raw inputs from the activations it receives?
+//!
+//! The attacker fits a ridge regression from smashed activations back to
+//! raw inputs on an auxiliary set (the strongest assumption in the
+//! attacker's favour: it has input/activation pairs to train on), then is
+//! scored on held-out activations. Reported `R²` close to 1 means the raw
+//! data effectively leaks; `R²` near 0 means the activations reveal little
+//! beyond the mean image.
+
+use medsplit_tensor::linalg::ridge_regression;
+use medsplit_tensor::{Result, Tensor, TensorError};
+
+use crate::dcor::flatten_samples;
+
+/// Outcome of a reconstruction attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconstructionReport {
+    /// Mean squared error of the attacker's reconstruction on held-out
+    /// samples.
+    pub mse: f32,
+    /// MSE of the trivial attacker that always predicts the training-set
+    /// mean input.
+    pub baseline_mse: f32,
+    /// Variance explained: `1 - mse / baseline_mse`, clamped at 0.
+    pub r_squared: f32,
+}
+
+/// Runs the ridge-regression reconstruction attack.
+///
+/// `train_*` are the attacker's auxiliary pairs; `test_*` the held-out
+/// pairs to score on. Arbitrary-rank batches are flattened per sample.
+///
+/// # Errors
+///
+/// Returns shape errors on inconsistent inputs and numerical errors from
+/// the solver.
+pub fn reconstruction_attack(
+    train_acts: &Tensor,
+    train_inputs: &Tensor,
+    test_acts: &Tensor,
+    test_inputs: &Tensor,
+    lambda: f32,
+) -> Result<ReconstructionReport> {
+    let a_train = flatten_samples(train_acts)?;
+    let x_train = flatten_samples(train_inputs)?;
+    let a_test = flatten_samples(test_acts)?;
+    let x_test = flatten_samples(test_inputs)?;
+    if a_train.dims()[0] != x_train.dims()[0] || a_test.dims()[0] != x_test.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a_train.shape().clone(),
+            rhs: x_train.shape().clone(),
+            op: "reconstruction_attack",
+        });
+    }
+    // Attacker's map: activations -> inputs.
+    let w = ridge_regression(&a_train, &x_train, lambda)?;
+    let prediction = a_test.matmul(&w)?;
+    let err = prediction.try_sub(&x_test)?;
+    let mse = err.norm_sq() / err.numel().max(1) as f32;
+
+    // Trivial baseline: predict the per-feature mean of the training inputs.
+    let mean = x_train.mean_axis(0)?;
+    let baseline_err = x_test.try_sub(&mean)?;
+    let baseline_mse = baseline_err.norm_sq() / baseline_err.numel().max(1) as f32;
+
+    let r_squared = if baseline_mse > 0.0 {
+        (1.0 - mse / baseline_mse).max(0.0)
+    } else {
+        0.0
+    };
+    Ok(ReconstructionReport {
+        mse,
+        baseline_mse,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_tensor::init::rng_from_seed;
+
+    /// When activations are an invertible linear map of the inputs, the
+    /// attack recovers them almost perfectly.
+    #[test]
+    fn invertible_map_leaks_everything() {
+        let mut rng = rng_from_seed(0);
+        let x_train = Tensor::rand_uniform([80, 6], -1.0, 1.0, &mut rng);
+        let x_test = Tensor::rand_uniform([20, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([6, 6], -1.0, 1.0, &mut rng);
+        let a_train = x_train.matmul(&w).unwrap();
+        let a_test = x_test.matmul(&w).unwrap();
+        let report = reconstruction_attack(&a_train, &x_train, &a_test, &x_test, 1e-4).unwrap();
+        assert!(report.r_squared > 0.95, "{report:?}");
+        assert!(report.mse < 0.05 * report.baseline_mse);
+    }
+
+    /// When activations are independent noise, the attack does no better
+    /// than predicting the mean.
+    #[test]
+    fn independent_activations_leak_nothing() {
+        let mut rng = rng_from_seed(1);
+        let x_train = Tensor::rand_uniform([80, 6], -1.0, 1.0, &mut rng);
+        let x_test = Tensor::rand_uniform([20, 6], -1.0, 1.0, &mut rng);
+        let a_train = Tensor::rand_uniform([80, 8], -1.0, 1.0, &mut rng);
+        let a_test = Tensor::rand_uniform([20, 8], -1.0, 1.0, &mut rng);
+        let report = reconstruction_attack(&a_train, &x_train, &a_test, &x_test, 1e-2).unwrap();
+        assert!(report.r_squared < 0.2, "{report:?}");
+    }
+
+    /// A lossy (rank-reducing) map leaks partially.
+    #[test]
+    fn lossy_map_leaks_partially() {
+        let mut rng = rng_from_seed(2);
+        let x_train = Tensor::rand_uniform([100, 8], -1.0, 1.0, &mut rng);
+        let x_test = Tensor::rand_uniform([30, 8], -1.0, 1.0, &mut rng);
+        // Project to 2 dimensions: most information destroyed.
+        let w = Tensor::rand_uniform([8, 2], -1.0, 1.0, &mut rng);
+        let a_train = x_train.matmul(&w).unwrap();
+        let a_test = x_test.matmul(&w).unwrap();
+        let report = reconstruction_attack(&a_train, &x_train, &a_test, &x_test, 1e-4).unwrap();
+        assert!(report.r_squared > 0.05 && report.r_squared < 0.7, "{report:?}");
+    }
+
+    #[test]
+    fn flattens_image_batches() {
+        let mut rng = rng_from_seed(3);
+        let x_train = Tensor::rand_uniform([30, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let a_train = Tensor::rand_uniform([30, 4, 3, 3], -1.0, 1.0, &mut rng);
+        let x_test = Tensor::rand_uniform([10, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let a_test = Tensor::rand_uniform([10, 4, 3, 3], -1.0, 1.0, &mut rng);
+        let report = reconstruction_attack(&a_train, &x_train, &a_test, &x_test, 1e-2).unwrap();
+        assert!(report.mse.is_finite());
+    }
+
+    #[test]
+    fn mismatched_rows_rejected() {
+        let a = Tensor::ones([10, 2]);
+        let x = Tensor::ones([9, 2]);
+        assert!(reconstruction_attack(&a, &x, &a, &x, 1e-2).is_err());
+    }
+}

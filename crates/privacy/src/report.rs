@@ -1,0 +1,142 @@
+//! End-to-end leakage assessment of a platform-side model.
+
+use std::fmt;
+
+use medsplit_nn::{Layer, Mode, Sequential};
+use medsplit_tensor::{Result, Tensor};
+
+use crate::dcor::{distance_correlation, flatten_samples};
+use crate::reconstruction::{reconstruction_attack, ReconstructionReport};
+
+/// A combined privacy assessment of what a platform transmits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageReport {
+    /// Distance correlation between raw inputs and transmitted
+    /// activations (1 = fully dependent, 0 = independent).
+    pub dcor: f64,
+    /// Linear reconstruction attack outcome.
+    pub reconstruction: ReconstructionReport,
+}
+
+impl LeakageReport {
+    /// A coarse verdict for human consumption.
+    pub fn verdict(&self) -> &'static str {
+        if self.reconstruction.r_squared > 0.8 {
+            "HIGH leakage: inputs are linearly recoverable from the transmitted activations"
+        } else if self.reconstruction.r_squared > 0.4 || self.dcor > 0.8 {
+            "MODERATE leakage: substantial input information survives in the activations"
+        } else {
+            "LOW leakage: the linear attacker recovers little beyond the mean input"
+        }
+    }
+}
+
+impl fmt::Display for LeakageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "distance correlation  : {:.4}", self.dcor)?;
+        writeln!(f, "reconstruction MSE    : {:.6}", self.reconstruction.mse)?;
+        writeln!(
+            f,
+            "baseline (mean) MSE   : {:.6}",
+            self.reconstruction.baseline_mse
+        )?;
+        writeln!(f, "attacker R^2          : {:.4}", self.reconstruction.r_squared)?;
+        write!(f, "verdict               : {}", self.verdict())
+    }
+}
+
+/// Assesses the leakage of a platform-side model (`L1`) on the given
+/// inputs: runs it in inference mode, splits the pairs into attacker
+/// train/test halves, and applies both probes.
+///
+/// # Errors
+///
+/// Returns numerical/shape errors from the probes (e.g. fewer than 4
+/// samples).
+pub fn assess_l1_leakage(l1: &mut Sequential, inputs: &Tensor, lambda: f32) -> Result<LeakageReport> {
+    let acts = l1.forward(inputs, Mode::Eval)?;
+    let dcor = distance_correlation(&flatten_samples(inputs)?, &flatten_samples(&acts)?)?;
+    let n = inputs.dims()[0];
+    let half = n / 2;
+    let train_idx: Vec<usize> = (0..half).collect();
+    let test_idx: Vec<usize> = (half..n).collect();
+    let reconstruction = reconstruction_attack(
+        &acts.index_select0(&train_idx)?,
+        &inputs.index_select0(&train_idx)?,
+        &acts.index_select0(&test_idx)?,
+        &inputs.index_select0(&test_idx)?,
+        lambda,
+    )?;
+    Ok(LeakageReport { dcor, reconstruction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_nn::{Activation, Dense};
+    use medsplit_tensor::init::rng_from_seed;
+
+    #[test]
+    fn identity_like_l1_reports_high_leakage() {
+        // A wide linear layer is invertible in practice.
+        let mut rng = rng_from_seed(0);
+        let mut l1 = Sequential::new("l1");
+        l1.push(Dense::new(6, 16, &mut rng));
+        let inputs = Tensor::rand_uniform([80, 6], -1.0, 1.0, &mut rng);
+        let report = assess_l1_leakage(&mut l1, &inputs, 1e-4).unwrap();
+        assert!(report.reconstruction.r_squared > 0.8, "{report}");
+        assert!(report.verdict().starts_with("HIGH"));
+        assert!(report.dcor > 0.8);
+    }
+
+    #[test]
+    fn narrow_nonlinear_l1_leaks_less() {
+        let mut rng = rng_from_seed(1);
+        // Bottleneck to 2 units + ReLU destroys most information.
+        let mut narrow = Sequential::new("narrow");
+        let mut rng2 = rng_from_seed(2);
+        narrow.push(Dense::new(12, 2, &mut rng2));
+        narrow.push(Activation::relu());
+        let mut wide = Sequential::new("wide");
+        wide.push(Dense::new(12, 32, &mut rng));
+        let inputs = Tensor::rand_uniform([100, 12], -1.0, 1.0, &mut rng);
+        let narrow_report = assess_l1_leakage(&mut narrow, &inputs, 1e-4).unwrap();
+        let wide_report = assess_l1_leakage(&mut wide, &inputs, 1e-4).unwrap();
+        assert!(
+            narrow_report.reconstruction.r_squared < wide_report.reconstruction.r_squared,
+            "narrow {narrow_report:?} vs wide {wide_report:?}"
+        );
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let report = LeakageReport {
+            dcor: 0.5,
+            reconstruction: ReconstructionReport {
+                mse: 0.1,
+                baseline_mse: 0.2,
+                r_squared: 0.5,
+            },
+        };
+        let s = report.to_string();
+        assert!(s.contains("distance correlation"));
+        assert!(s.contains("R^2"));
+        assert!(s.contains("MODERATE"));
+    }
+
+    #[test]
+    fn verdict_thresholds() {
+        let mk = |r2: f32, dcor: f64| LeakageReport {
+            dcor,
+            reconstruction: ReconstructionReport {
+                mse: 0.0,
+                baseline_mse: 1.0,
+                r_squared: r2,
+            },
+        };
+        assert!(mk(0.9, 0.1).verdict().starts_with("HIGH"));
+        assert!(mk(0.5, 0.1).verdict().starts_with("MODERATE"));
+        assert!(mk(0.1, 0.9).verdict().starts_with("MODERATE"));
+        assert!(mk(0.1, 0.2).verdict().starts_with("LOW"));
+    }
+}

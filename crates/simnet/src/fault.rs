@@ -1,0 +1,143 @@
+//! Fault injection: straggling and dead nodes.
+//!
+//! Used by the large-scale synchronous SGD baseline (Chen et al. 2016): the
+//! whole point of its backup workers is to tolerate exactly the failures
+//! injected here.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::message::Envelope;
+use crate::node::NodeId;
+use crate::stats::NetStats;
+use crate::transport::{NetError, Transport};
+
+/// Per-node failure behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every message from this node is silently dropped (crashed node).
+    Dead,
+    /// Messages are delivered but the node's clock is penalised by this
+    /// many extra seconds per message (straggler).
+    Slow(f64),
+}
+
+/// A transport decorator that injects faults on messages *sent by*
+/// configured nodes.
+pub struct FaultyTransport<T> {
+    inner: T,
+    faults: Mutex<HashMap<NodeId, FaultKind>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps a transport with no faults configured.
+    pub fn new(inner: T) -> Self {
+        FaultyTransport {
+            inner,
+            faults: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets (or replaces) the fault for a node.
+    pub fn set_fault(&self, node: NodeId, kind: FaultKind) {
+        self.faults.lock().insert(node, kind);
+    }
+
+    /// Clears a node's fault.
+    pub fn clear_fault(&self, node: NodeId) {
+        self.faults.lock().remove(&node);
+    }
+
+    /// Access to the wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&self, env: Envelope) -> Result<(), NetError> {
+        let fault = self.faults.lock().get(&env.src).copied();
+        match fault {
+            Some(FaultKind::Dead) => Ok(()), // silently dropped
+            Some(FaultKind::Slow(penalty)) => {
+                self.inner.stats().advance_clock(env.src, penalty);
+                self.inner.send(env)
+            }
+            None => self.inner.send(env),
+        }
+    }
+
+    fn try_recv(&self, node: NodeId) -> Option<Envelope> {
+        self.inner.try_recv(node)
+    }
+
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Result<Envelope, NetError> {
+        self.inner.recv_timeout(node, timeout)
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.inner.stats()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use crate::topology::StarTopology;
+    use crate::transport::MemoryTransport;
+    use bytes::Bytes;
+
+    fn env(src: NodeId) -> Envelope {
+        Envelope::new(src, NodeId::Server, 0, MessageKind::Control, Bytes::new())
+    }
+
+    #[test]
+    fn dead_node_messages_vanish() {
+        let t = FaultyTransport::new(MemoryTransport::new(StarTopology::new(2)));
+        t.set_fault(NodeId::Platform(0), FaultKind::Dead);
+        t.send(env(NodeId::Platform(0))).unwrap();
+        t.send(env(NodeId::Platform(1))).unwrap();
+        let got = t.try_recv(NodeId::Server).unwrap();
+        assert_eq!(got.src, NodeId::Platform(1));
+        assert!(t.try_recv(NodeId::Server).is_none());
+    }
+
+    #[test]
+    fn slow_node_pays_clock_penalty() {
+        let t = FaultyTransport::new(MemoryTransport::new(StarTopology::new(1)));
+        t.set_fault(NodeId::Platform(0), FaultKind::Slow(2.5));
+        t.send(env(NodeId::Platform(0))).unwrap();
+        assert!(t.stats().clock(NodeId::Platform(0)) >= 2.5);
+        let _ = t.try_recv(NodeId::Server).unwrap();
+        // Server clock reflects the straggler's delay.
+        assert!(t.stats().clock(NodeId::Server) >= 2.5);
+    }
+
+    #[test]
+    fn clearing_fault_restores_delivery() {
+        let t = FaultyTransport::new(MemoryTransport::new(StarTopology::new(1)));
+        t.set_fault(NodeId::Platform(0), FaultKind::Dead);
+        t.send(env(NodeId::Platform(0))).unwrap();
+        assert!(t.try_recv(NodeId::Server).is_none());
+        t.clear_fault(NodeId::Platform(0));
+        t.send(env(NodeId::Platform(0))).unwrap();
+        assert!(t.try_recv(NodeId::Server).is_some());
+    }
+
+    #[test]
+    fn dead_sends_are_not_counted() {
+        // A crashed node produces no traffic: accounting must not charge it.
+        let t = FaultyTransport::new(MemoryTransport::new(StarTopology::new(1)));
+        t.set_fault(NodeId::Platform(0), FaultKind::Dead);
+        t.send(env(NodeId::Platform(0))).unwrap();
+        assert_eq!(t.stats().snapshot().messages, 0);
+        assert_eq!(t.inner().queued(NodeId::Server), 0);
+    }
+}

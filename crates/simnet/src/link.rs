@@ -1,0 +1,87 @@
+//! Link models: bandwidth and latency.
+
+/// The characteristics of a directed network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// A wide-area link typical of geo-distributed hospitals:
+    /// 100 Mbit/s with 30 ms latency.
+    pub fn wan() -> Self {
+        LinkSpec {
+            bandwidth_bps: 100e6,
+            latency_s: 0.030,
+        }
+    }
+
+    /// A local-area link: 10 Gbit/s, 0.2 ms.
+    pub fn lan() -> Self {
+        LinkSpec {
+            bandwidth_bps: 10e9,
+            latency_s: 0.0002,
+        }
+    }
+
+    /// A constrained uplink (e.g. a clinic behind consumer broadband):
+    /// 20 Mbit/s, 40 ms.
+    pub fn broadband() -> Self {
+        LinkSpec {
+            bandwidth_bps: 20e6,
+            latency_s: 0.040,
+        }
+    }
+
+    /// Time in seconds to move `bytes` across the link: latency plus
+    /// serialisation delay.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+}
+
+impl Default for LinkSpec {
+    /// Defaults to [`wan`](Self::wan), the paper's setting.
+    fn default() -> Self {
+        Self::wan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_formula() {
+        let link = LinkSpec {
+            bandwidth_bps: 8e6,
+            latency_s: 0.01,
+        };
+        // 1 MB = 8 Mbit over 8 Mbit/s = 1 s, plus 10 ms latency.
+        let t = link.transfer_time(1_000_000);
+        assert!((t - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let link = LinkSpec::wan();
+        assert!((link.transfer_time(0) - 0.030).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_ordering() {
+        // LAN beats WAN beats broadband for any payload.
+        for &bytes in &[0usize, 1_000, 10_000_000] {
+            assert!(LinkSpec::lan().transfer_time(bytes) < LinkSpec::wan().transfer_time(bytes));
+            assert!(LinkSpec::wan().transfer_time(bytes) < LinkSpec::broadband().transfer_time(bytes));
+        }
+    }
+
+    #[test]
+    fn default_is_wan() {
+        assert_eq!(LinkSpec::default(), LinkSpec::wan());
+    }
+}

@@ -1,0 +1,173 @@
+//! Wire messages.
+
+use bytes::Bytes;
+
+use crate::node::NodeId;
+
+/// Fixed per-message framing overhead charged by the accounting, in bytes
+/// (an approximation of transport headers: src/dst/round/kind plus
+/// TCP/IP framing).
+pub const HEADER_BYTES: usize = 64;
+
+/// The semantic type of a message, used for per-kind byte accounting so
+/// the evaluation can report *where* each protocol's bandwidth goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageKind {
+    /// Split learning message 1: `L1` activations, platform → server.
+    Activations,
+    /// Split learning message 2: output-layer logits, server → platform.
+    Logits,
+    /// Split learning message 3: loss gradients w.r.t. logits,
+    /// platform → server.
+    LogitGrads,
+    /// Split learning message 4: gradients at the cut, server → platform.
+    CutGrads,
+    /// U-shaped split: middle-section output features, server → platform
+    /// (takes the place of logits when the classifier head also stays on
+    /// the platform).
+    Features,
+    /// U-shaped split: gradients w.r.t. the middle-section output,
+    /// platform → server.
+    FeatureGrads,
+    /// Full model parameters, server → platform (FedAvg / sync-SGD
+    /// download).
+    ModelDown,
+    /// Full model parameters, platform → server (FedAvg upload).
+    ModelUp,
+    /// Full gradient vector, platform → server (sync-SGD push).
+    GradPush,
+    /// `L1` parameters exchanged between platforms via the server
+    /// (periodic-averaging / cyclic-sharing extensions).
+    L1Sync,
+    /// Raw patient data, platform → server — only the privacy-violating
+    /// centralised baseline ever sends this.
+    RawData,
+    /// Control traffic (round begin/end, shutdown).
+    Control,
+}
+
+impl MessageKind {
+    /// Stable short name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MessageKind::Activations => "activations",
+            MessageKind::Logits => "logits",
+            MessageKind::LogitGrads => "logit_grads",
+            MessageKind::CutGrads => "cut_grads",
+            MessageKind::Features => "features",
+            MessageKind::FeatureGrads => "feature_grads",
+            MessageKind::ModelDown => "model_down",
+            MessageKind::ModelUp => "model_up",
+            MessageKind::GradPush => "grad_push",
+            MessageKind::L1Sync => "l1_sync",
+            MessageKind::RawData => "raw_data",
+            MessageKind::Control => "control",
+        }
+    }
+
+    /// All kinds, for report iteration.
+    pub fn all() -> &'static [MessageKind] {
+        &[
+            MessageKind::Activations,
+            MessageKind::Logits,
+            MessageKind::LogitGrads,
+            MessageKind::CutGrads,
+            MessageKind::Features,
+            MessageKind::FeatureGrads,
+            MessageKind::ModelDown,
+            MessageKind::ModelUp,
+            MessageKind::GradPush,
+            MessageKind::L1Sync,
+            MessageKind::RawData,
+            MessageKind::Control,
+        ]
+    }
+}
+
+impl std::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One message on the wire: routing metadata plus an opaque serialised
+/// payload. Payloads are produced by `Tensor::to_bytes` (or are empty for
+/// control messages), so the byte accounting below is exact.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Training round this message belongs to.
+    pub round: u64,
+    /// Message kind for accounting and dispatch.
+    pub kind: MessageKind,
+    /// Serialised payload.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(src: NodeId, dst: NodeId, round: u64, kind: MessageKind, payload: Bytes) -> Self {
+        Envelope {
+            src,
+            dst,
+            round,
+            kind,
+            payload,
+        }
+    }
+
+    /// A payload-less control message.
+    pub fn control(src: NodeId, dst: NodeId, round: u64) -> Self {
+        Envelope {
+            src,
+            dst,
+            round,
+            kind: MessageKind::Control,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Bytes this message occupies on the wire (payload + framing).
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + HEADER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_header() {
+        let env = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            1,
+            MessageKind::Activations,
+            Bytes::from(vec![0u8; 100]),
+        );
+        assert_eq!(env.wire_size(), 164);
+        assert_eq!(
+            Envelope::control(NodeId::Server, NodeId::Platform(0), 0).wire_size(),
+            HEADER_BYTES
+        );
+    }
+
+    #[test]
+    fn kind_names_unique() {
+        let mut names: Vec<&str> = MessageKind::all().iter().map(|k| k.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(MessageKind::Activations.to_string(), "activations");
+        assert_eq!(MessageKind::CutGrads.to_string(), "cut_grads");
+    }
+}

@@ -1,0 +1,59 @@
+//! Node identities in the geo-distributed topology.
+
+use std::fmt;
+
+/// A participant in the geo-distributed system: the single central server
+/// or one of the medical platforms (hospitals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// The central server holding layers `L2..Lk`.
+    Server,
+    /// Platform `k` (0-based) holding its local data and layer `L1`.
+    Platform(usize),
+}
+
+impl NodeId {
+    /// Whether this node is a platform.
+    pub fn is_platform(&self) -> bool {
+        matches!(self, NodeId::Platform(_))
+    }
+
+    /// The platform index, if any.
+    pub fn platform_index(&self) -> Option<usize> {
+        match self {
+            NodeId::Platform(i) => Some(*i),
+            NodeId::Server => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Server => write!(f, "server"),
+            NodeId::Platform(i) => write!(f, "platform-{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_helpers() {
+        assert_eq!(NodeId::Server.to_string(), "server");
+        assert_eq!(NodeId::Platform(3).to_string(), "platform-3");
+        assert!(NodeId::Platform(0).is_platform());
+        assert!(!NodeId::Server.is_platform());
+        assert_eq!(NodeId::Platform(2).platform_index(), Some(2));
+        assert_eq!(NodeId::Server.platform_index(), None);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![NodeId::Platform(1), NodeId::Server, NodeId::Platform(0)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::Server, NodeId::Platform(0), NodeId::Platform(1)]);
+    }
+}

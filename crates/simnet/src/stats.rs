@@ -1,0 +1,209 @@
+//! Exact communication accounting and the simulated clock.
+//!
+//! Every byte the evaluation reports flows through [`NetStats::on_send`].
+//! Simulated time uses a simple causal model: when `src` (whose local
+//! clock reads `t_src`) sends `b` bytes over a link with latency `l` and
+//! bandwidth `B`, the message *arrives* at `t_src + l + 8b/B`; the
+//! receiver's clock advances to at least the arrival time when it consumes
+//! the message. Local computation advances a node's clock via
+//! [`NetStats::advance_clock`].
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::link::LinkSpec;
+use crate::message::{Envelope, MessageKind};
+use crate::node::NodeId;
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    total_bytes: u64,
+    messages: u64,
+    by_kind: HashMap<MessageKind, u64>,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    clocks: HashMap<NodeId, f64>,
+}
+
+/// Thread-safe communication statistics shared by all nodes of a run.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    inner: Mutex<StatsInner>,
+}
+
+/// A point-in-time copy of the accumulated statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Total wire bytes sent (payload + framing).
+    pub total_bytes: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Wire bytes per message kind.
+    pub by_kind: Vec<(MessageKind, u64)>,
+    /// Bytes sent platform → server.
+    pub uplink_bytes: u64,
+    /// Bytes sent server → platform.
+    pub downlink_bytes: u64,
+    /// The largest node clock: the simulated makespan in seconds.
+    pub makespan_s: f64,
+}
+
+impl StatsSnapshot {
+    /// Bytes for one kind (0 if absent).
+    pub fn bytes_of(&self, kind: MessageKind) -> u64 {
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// Total bytes in gigabytes (10⁹).
+    pub fn total_gb(&self) -> f64 {
+        self.total_bytes as f64 / 1e9
+    }
+}
+
+impl NetStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a send and returns the message's arrival time at the
+    /// destination under `link` (the sender's clock is *not* advanced:
+    /// sends are modelled as asynchronous writes).
+    pub fn on_send(&self, env: &Envelope, link: Option<LinkSpec>) -> f64 {
+        let mut inner = self.inner.lock();
+        let bytes = env.wire_size() as u64;
+        inner.total_bytes += bytes;
+        inner.messages += 1;
+        *inner.by_kind.entry(env.kind).or_insert(0) += bytes;
+        match (env.src, env.dst) {
+            (NodeId::Platform(_), NodeId::Server) => inner.uplink_bytes += bytes,
+            (NodeId::Server, NodeId::Platform(_)) => inner.downlink_bytes += bytes,
+            _ => {}
+        }
+        let t_src = inner.clocks.get(&env.src).copied().unwrap_or(0.0);
+        match link {
+            Some(l) => t_src + l.transfer_time(env.wire_size()),
+            None => t_src,
+        }
+    }
+
+    /// Advances the receiver's clock to at least `arrival` when a message
+    /// is consumed.
+    pub fn on_receive(&self, node: NodeId, arrival: f64) {
+        let mut inner = self.inner.lock();
+        let clock = inner.clocks.entry(node).or_insert(0.0);
+        if arrival > *clock {
+            *clock = arrival;
+        }
+    }
+
+    /// Advances a node's clock by `seconds` of local computation.
+    pub fn advance_clock(&self, node: NodeId, seconds: f64) {
+        let mut inner = self.inner.lock();
+        *inner.clocks.entry(node).or_insert(0.0) += seconds;
+    }
+
+    /// The node's current simulated clock.
+    pub fn clock(&self, node: NodeId) -> f64 {
+        self.inner.lock().clocks.get(&node).copied().unwrap_or(0.0)
+    }
+
+    /// Takes a consistent snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.lock();
+        let mut by_kind: Vec<(MessageKind, u64)> = inner.by_kind.iter().map(|(k, v)| (*k, *v)).collect();
+        by_kind.sort_by_key(|(k, _)| *k);
+        StatsSnapshot {
+            total_bytes: inner.total_bytes,
+            messages: inner.messages,
+            by_kind,
+            uplink_bytes: inner.uplink_bytes,
+            downlink_bytes: inner.downlink_bytes,
+            makespan_s: inner.clocks.values().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn env(src: NodeId, dst: NodeId, kind: MessageKind, payload_len: usize) -> Envelope {
+        Envelope::new(src, dst, 0, kind, Bytes::from(vec![0u8; payload_len]))
+    }
+
+    #[test]
+    fn accounting_is_exact() {
+        let stats = NetStats::new();
+        let e1 = env(NodeId::Platform(0), NodeId::Server, MessageKind::Activations, 100);
+        let e2 = env(NodeId::Server, NodeId::Platform(0), MessageKind::Logits, 36);
+        stats.on_send(&e1, None);
+        stats.on_send(&e2, None);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_bytes, (100 + 64 + 36 + 64) as u64);
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.uplink_bytes, 164);
+        assert_eq!(snap.downlink_bytes, 100);
+        assert_eq!(snap.bytes_of(MessageKind::Activations), 164);
+        assert_eq!(snap.bytes_of(MessageKind::Logits), 100);
+        assert_eq!(snap.bytes_of(MessageKind::CutGrads), 0);
+    }
+
+    #[test]
+    fn clock_model_is_causal() {
+        let stats = NetStats::new();
+        let link = LinkSpec {
+            bandwidth_bps: 8e6,
+            latency_s: 0.01,
+        };
+        // Platform computes for 0.5 s, then sends 1 MB.
+        stats.advance_clock(NodeId::Platform(0), 0.5);
+        let e = env(
+            NodeId::Platform(0),
+            NodeId::Server,
+            MessageKind::Activations,
+            1_000_000 - 64,
+        );
+        let arrival = stats.on_send(&e, Some(link));
+        assert!((arrival - (0.5 + 0.01 + 1.0)).abs() < 1e-9, "arrival {arrival}");
+        stats.on_receive(NodeId::Server, arrival);
+        assert!((stats.clock(NodeId::Server) - arrival).abs() < 1e-12);
+        // A later, earlier-arriving message must not move the clock back.
+        stats.on_receive(NodeId::Server, 0.1);
+        assert!((stats.clock(NodeId::Server) - arrival).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let stats = NetStats::new();
+        stats.advance_clock(NodeId::Platform(0), 1.0);
+        stats.advance_clock(NodeId::Platform(1), 3.0);
+        stats.advance_clock(NodeId::Server, 2.0);
+        assert_eq!(stats.snapshot().makespan_s, 3.0);
+    }
+
+    #[test]
+    fn gb_conversion() {
+        let stats = NetStats::new();
+        let e = env(
+            NodeId::Platform(0),
+            NodeId::Server,
+            MessageKind::GradPush,
+            1_000_000_000 - 64,
+        );
+        stats.on_send(&e, None);
+        assert!((stats.snapshot().total_gb() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_are_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<NetStats>();
+    }
+}

@@ -1,0 +1,155 @@
+//! Thread-per-node execution: run each platform and the server on its own
+//! OS thread against a shared transport, as a real deployment would.
+
+use crossbeam::thread;
+
+use crate::node::NodeId;
+use crate::transport::Transport;
+
+/// Runs one closure per node, each on its own thread, and returns their
+/// results in input order.
+///
+/// The transport is shared by reference; closures communicate exclusively
+/// through it, exactly like distributed processes. On return the transport
+/// has been [`shutdown`](Transport::shutdown) so no receiver can block
+/// forever.
+///
+/// # Panics
+///
+/// Panics if any node's thread panics (the panic is propagated with the
+/// node's id in the message).
+pub fn run_per_node<T, R, F>(transport: &T, nodes: Vec<(NodeId, F)>) -> Vec<(NodeId, R)>
+where
+    T: Transport,
+    R: Send,
+    F: FnOnce(NodeId, &T) -> R + Send,
+{
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .into_iter()
+            .map(|(node, f)| {
+                let builder = scope.builder().name(node.to_string());
+                let handle = builder
+                    .spawn(move |_| (node, f(node, transport)))
+                    .expect("spawn node thread");
+                (node, handle)
+            })
+            .collect();
+        let mut results = Vec::with_capacity(handles.len());
+        for (node, handle) in handles {
+            match handle.join() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    transport.shutdown();
+                    panic!("node thread {node} panicked");
+                }
+            }
+        }
+        results
+    })
+    .expect("thread scope");
+    transport.shutdown();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Envelope, MessageKind};
+    use crate::topology::StarTopology;
+    use crate::transport::MemoryTransport;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    type NodeFn<R> = Box<dyn FnOnce(NodeId, &MemoryTransport) -> R + Send>;
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let transport = MemoryTransport::new(StarTopology::new(2));
+        let nodes: Vec<(NodeId, NodeFn<u64>)> = vec![
+            (
+                NodeId::Server,
+                Box::new(|_, t: &MemoryTransport| {
+                    let mut sum = 0;
+                    for _ in 0..2 {
+                        let env = t.recv_timeout(NodeId::Server, Duration::from_secs(5)).unwrap();
+                        sum += env.round;
+                        t.send(Envelope::control(NodeId::Server, env.src, env.round))
+                            .unwrap();
+                    }
+                    sum
+                }),
+            ),
+            (
+                NodeId::Platform(0),
+                Box::new(|me, t: &MemoryTransport| {
+                    t.send(Envelope::new(
+                        me,
+                        NodeId::Server,
+                        10,
+                        MessageKind::Control,
+                        Bytes::new(),
+                    ))
+                    .unwrap();
+                    t.recv_timeout(me, Duration::from_secs(5)).unwrap().round
+                }),
+            ),
+            (
+                NodeId::Platform(1),
+                Box::new(|me, t: &MemoryTransport| {
+                    t.send(Envelope::new(
+                        me,
+                        NodeId::Server,
+                        32,
+                        MessageKind::Control,
+                        Bytes::new(),
+                    ))
+                    .unwrap();
+                    t.recv_timeout(me, Duration::from_secs(5)).unwrap().round
+                }),
+            ),
+        ];
+        let results = run_per_node(&transport, nodes);
+        let server_sum = results.iter().find(|(n, _)| *n == NodeId::Server).unwrap().1;
+        assert_eq!(server_sum, 42);
+        // Each platform got its own round echoed back.
+        for (node, r) in &results {
+            if let NodeId::Platform(i) = node {
+                assert_eq!(*r, if *i == 0 { 10 } else { 32 });
+            }
+        }
+        // Transport is shut down afterwards.
+        assert!(transport
+            .recv_timeout(NodeId::Server, Duration::from_millis(1))
+            .is_err());
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let transport = MemoryTransport::new(StarTopology::new(3));
+        let nodes: Vec<(NodeId, _)> = (0..3)
+            .map(|i| {
+                (NodeId::Platform(i), move |_n: NodeId, _t: &MemoryTransport| {
+                    i * 10
+                })
+            })
+            .collect();
+        let results = run_per_node(&transport, nodes);
+        assert_eq!(
+            results,
+            vec![
+                (NodeId::Platform(0), 0),
+                (NodeId::Platform(1), 10),
+                (NodeId::Platform(2), 20)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn node_panic_propagates() {
+        let transport = MemoryTransport::new(StarTopology::new(1));
+        let nodes: Vec<(NodeId, NodeFn<()>)> = vec![(NodeId::Platform(0), Box::new(|_, _| panic!("boom")))];
+        run_per_node(&transport, nodes);
+    }
+}

@@ -1,0 +1,121 @@
+//! Network topologies.
+
+use std::collections::HashMap;
+
+use crate::link::LinkSpec;
+use crate::node::NodeId;
+
+/// A star topology: every platform connects to the central server, as in
+/// the paper's Fig. 1. Per-direction defaults can be overridden per
+/// platform (e.g. one rural hospital on a slow uplink).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarTopology {
+    platforms: usize,
+    uplink: LinkSpec,
+    downlink: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+}
+
+impl StarTopology {
+    /// A star with `platforms` spokes and symmetric WAN links.
+    pub fn new(platforms: usize) -> Self {
+        StarTopology {
+            platforms,
+            uplink: LinkSpec::wan(),
+            downlink: LinkSpec::wan(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Overrides the default platform → server link.
+    pub fn with_uplink(mut self, link: LinkSpec) -> Self {
+        self.uplink = link;
+        self
+    }
+
+    /// Overrides the default server → platform link.
+    pub fn with_downlink(mut self, link: LinkSpec) -> Self {
+        self.downlink = link;
+        self
+    }
+
+    /// Overrides one directed edge.
+    pub fn with_override(mut self, src: NodeId, dst: NodeId, link: LinkSpec) -> Self {
+        self.overrides.insert((src, dst), link);
+        self
+    }
+
+    /// Number of platforms.
+    pub fn platforms(&self) -> usize {
+        self.platforms
+    }
+
+    /// All node ids: the server followed by each platform.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v = vec![NodeId::Server];
+        v.extend((0..self.platforms).map(NodeId::Platform));
+        v
+    }
+
+    /// The link used for a directed edge, if the edge exists in the star.
+    ///
+    /// Platform↔platform edges do not exist (traffic is relayed through
+    /// the server, as the protocols do).
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec> {
+        if let Some(l) = self.overrides.get(&(src, dst)) {
+            return Some(*l);
+        }
+        match (src, dst) {
+            (NodeId::Platform(i), NodeId::Server) if i < self.platforms => Some(self.uplink),
+            (NodeId::Server, NodeId::Platform(i)) if i < self.platforms => Some(self.downlink),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_edges() {
+        let t = StarTopology::new(3);
+        assert_eq!(t.platforms(), 3);
+        assert_eq!(t.nodes().len(), 4);
+        assert!(t.link(NodeId::Platform(0), NodeId::Server).is_some());
+        assert!(t.link(NodeId::Server, NodeId::Platform(2)).is_some());
+        // No platform-to-platform edges, no out-of-range platforms.
+        assert!(t.link(NodeId::Platform(0), NodeId::Platform(1)).is_none());
+        assert!(t.link(NodeId::Platform(3), NodeId::Server).is_none());
+        assert!(t.link(NodeId::Server, NodeId::Server).is_none());
+    }
+
+    #[test]
+    fn asymmetric_defaults() {
+        let t = StarTopology::new(2)
+            .with_uplink(LinkSpec::broadband())
+            .with_downlink(LinkSpec::lan());
+        assert_eq!(
+            t.link(NodeId::Platform(0), NodeId::Server).unwrap(),
+            LinkSpec::broadband()
+        );
+        assert_eq!(
+            t.link(NodeId::Server, NodeId::Platform(0)).unwrap(),
+            LinkSpec::lan()
+        );
+    }
+
+    #[test]
+    fn per_edge_override() {
+        let slow = LinkSpec {
+            bandwidth_bps: 1e6,
+            latency_s: 0.2,
+        };
+        let t = StarTopology::new(2).with_override(NodeId::Platform(1), NodeId::Server, slow);
+        assert_eq!(t.link(NodeId::Platform(1), NodeId::Server).unwrap(), slow);
+        assert_eq!(
+            t.link(NodeId::Platform(0), NodeId::Server).unwrap(),
+            LinkSpec::wan()
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Message transports.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::message::Envelope;
+use crate::node::NodeId;
+use crate::stats::NetStats;
+use crate::topology::StarTopology;
+
+/// Errors from transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node is not part of the topology.
+    UnknownNode(String),
+    /// A blocking receive gave up (peer shut down or timed out).
+    Disconnected(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            NetError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message transport between the nodes of a topology.
+///
+/// All sends are accounted in the shared [`NetStats`]; payload bytes are
+/// counted exactly as serialised.
+pub trait Transport: Send + Sync {
+    /// Sends a message. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] if the destination is not in the
+    /// topology, or [`NetError::Disconnected`] after
+    /// [`shutdown`](Transport::shutdown).
+    fn send(&self, env: Envelope) -> Result<(), NetError>;
+
+    /// Non-blocking receive of the next message queued for `node`.
+    fn try_recv(&self, node: NodeId) -> Option<Envelope>;
+
+    /// Blocking receive with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] on timeout or shutdown with an
+    /// empty queue.
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Result<Envelope, NetError>;
+
+    /// The shared statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// Wakes all blocked receivers and makes further blocking receives on
+    /// empty queues fail fast.
+    fn shutdown(&self);
+}
+
+struct Inboxes {
+    queues: HashMap<NodeId, VecDeque<(Envelope, f64)>>,
+    shut_down: bool,
+}
+
+/// The in-memory transport: per-node FIFO inboxes guarded by a single
+/// lock, with a condition variable for the threaded runtime. Used both by
+/// the deterministic single-threaded trainers and (via `Arc`) by the
+/// thread-per-node runtime.
+pub struct MemoryTransport {
+    topology: StarTopology,
+    inboxes: Mutex<Inboxes>,
+    available: Condvar,
+    stats: NetStats,
+}
+
+impl MemoryTransport {
+    /// Creates a transport for the given topology.
+    pub fn new(topology: StarTopology) -> Self {
+        let mut queues = HashMap::new();
+        for node in topology.nodes() {
+            queues.insert(node, VecDeque::new());
+        }
+        MemoryTransport {
+            topology,
+            inboxes: Mutex::new(Inboxes {
+                queues,
+                shut_down: false,
+            }),
+            available: Condvar::new(),
+            stats: NetStats::new(),
+        }
+    }
+
+    /// Convenience: a shareable transport.
+    pub fn shared(topology: StarTopology) -> Arc<Self> {
+        Arc::new(Self::new(topology))
+    }
+
+    /// The topology this transport routes over.
+    pub fn topology(&self) -> &StarTopology {
+        &self.topology
+    }
+
+    /// Number of messages currently queued for `node`.
+    pub fn queued(&self, node: NodeId) -> usize {
+        self.inboxes.lock().queues.get(&node).map_or(0, VecDeque::len)
+    }
+}
+
+impl Transport for MemoryTransport {
+    fn send(&self, env: Envelope) -> Result<(), NetError> {
+        let link = self.topology.link(env.src, env.dst);
+        // Messages between non-adjacent nodes are a protocol bug; messages
+        // to unknown nodes are an error either way.
+        let mut inboxes = self.inboxes.lock();
+        if inboxes.shut_down {
+            return Err(NetError::Disconnected("transport shut down".into()));
+        }
+        let arrival = self.stats.on_send(&env, link);
+        let dst = env.dst;
+        match inboxes.queues.get_mut(&dst) {
+            Some(q) => {
+                q.push_back((env, arrival));
+                drop(inboxes);
+                self.available.notify_all();
+                Ok(())
+            }
+            None => Err(NetError::UnknownNode(dst.to_string())),
+        }
+    }
+
+    fn try_recv(&self, node: NodeId) -> Option<Envelope> {
+        let mut inboxes = self.inboxes.lock();
+        let (env, arrival) = inboxes.queues.get_mut(&node)?.pop_front()?;
+        drop(inboxes);
+        self.stats.on_receive(node, arrival);
+        Some(env)
+    }
+
+    fn recv_timeout(&self, node: NodeId, timeout: Duration) -> Result<Envelope, NetError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inboxes = self.inboxes.lock();
+        loop {
+            if let Some(q) = inboxes.queues.get_mut(&node) {
+                if let Some((env, arrival)) = q.pop_front() {
+                    drop(inboxes);
+                    self.stats.on_receive(node, arrival);
+                    return Ok(env);
+                }
+            } else {
+                return Err(NetError::UnknownNode(node.to_string()));
+            }
+            if inboxes.shut_down {
+                return Err(NetError::Disconnected("transport shut down".into()));
+            }
+            if self.available.wait_until(&mut inboxes, deadline).timed_out() {
+                return Err(NetError::Disconnected(format!("recv timeout on {node}")));
+            }
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn shutdown(&self) {
+        self.inboxes.lock().shut_down = true;
+        self.available.notify_all();
+    }
+}
+
+impl fmt::Debug for MemoryTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryTransport")
+            .field("topology", &self.topology)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use bytes::Bytes;
+
+    fn env(src: NodeId, dst: NodeId) -> Envelope {
+        Envelope::new(src, dst, 0, MessageKind::Control, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn send_recv_fifo() {
+        let t = MemoryTransport::new(StarTopology::new(2));
+        t.send(env(NodeId::Platform(0), NodeId::Server)).unwrap();
+        let mut e2 = env(NodeId::Platform(1), NodeId::Server);
+        e2.round = 7;
+        t.send(e2).unwrap();
+        assert_eq!(t.queued(NodeId::Server), 2);
+        let first = t.try_recv(NodeId::Server).unwrap();
+        assert_eq!(first.src, NodeId::Platform(0));
+        let second = t.try_recv(NodeId::Server).unwrap();
+        assert_eq!(second.round, 7);
+        assert!(t.try_recv(NodeId::Server).is_none());
+    }
+
+    #[test]
+    fn unknown_destination_rejected() {
+        let t = MemoryTransport::new(StarTopology::new(1));
+        let err = t.send(env(NodeId::Server, NodeId::Platform(5))).unwrap_err();
+        assert!(matches!(err, NetError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn stats_account_sends() {
+        let t = MemoryTransport::new(StarTopology::new(1));
+        t.send(env(NodeId::Platform(0), NodeId::Server)).unwrap();
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.messages, 1);
+        assert_eq!(snap.total_bytes, 65);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let t = MemoryTransport::new(StarTopology::new(1));
+        let err = t
+            .recv_timeout(NodeId::Server, Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Disconnected(_)));
+    }
+
+    #[test]
+    fn blocking_recv_across_threads() {
+        let t = MemoryTransport::shared(StarTopology::new(1));
+        let t2 = Arc::clone(&t);
+        let handle =
+            std::thread::spawn(move || t2.recv_timeout(NodeId::Server, Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        t.send(env(NodeId::Platform(0), NodeId::Server)).unwrap();
+        let got = handle.join().unwrap();
+        assert_eq!(got.src, NodeId::Platform(0));
+    }
+
+    #[test]
+    fn shutdown_wakes_receivers_and_blocks_sends() {
+        let t = MemoryTransport::shared(StarTopology::new(1));
+        let t2 = Arc::clone(&t);
+        let handle = std::thread::spawn(move || t2.recv_timeout(NodeId::Server, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        t.shutdown();
+        assert!(handle.join().unwrap().is_err());
+        assert!(t.send(env(NodeId::Platform(0), NodeId::Server)).is_err());
+    }
+
+    #[test]
+    fn receive_advances_clock() {
+        let t = MemoryTransport::new(StarTopology::new(1));
+        let mut e = env(NodeId::Platform(0), NodeId::Server);
+        e.payload = Bytes::from(vec![0u8; 1_000_000]);
+        t.send(e).unwrap();
+        let _ = t.try_recv(NodeId::Server).unwrap();
+        // WAN: 30 ms + 1 MB over 100 Mbit/s ≈ 0.08 s ⇒ ~0.11 s total.
+        let clock = t.stats().clock(NodeId::Server);
+        assert!(clock > 0.1 && clock < 0.12, "clock {clock}");
+    }
+}

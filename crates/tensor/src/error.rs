@@ -1,0 +1,132 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Errors produced by fallible tensor operations.
+///
+/// Most arithmetic entry points have both a fallible (`try_*`) and a
+/// panicking variant; the panicking variants call the fallible ones and
+/// `expect` the result, so every shape violation is reported through this
+/// type first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (exactly or after
+    /// broadcasting) did not.
+    ShapeMismatch {
+        /// Left-hand operand shape.
+        lhs: Shape,
+        /// Right-hand operand shape.
+        rhs: Shape,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The number of elements implied by a shape did not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An index was out of bounds for the dimension it addressed.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension size.
+        dim: usize,
+    },
+    /// Deserialisation found a malformed or truncated buffer.
+    Corrupt(String),
+    /// A linear-algebra routine failed (e.g. a non-positive-definite matrix
+    /// handed to a Cholesky factorisation).
+    Numerical(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "length mismatch: shape implies {expected} elements, got {actual}"
+                )
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(
+                    f,
+                    "rank mismatch in `{op}`: expected rank {expected}, got {actual}"
+                )
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension of size {dim}")
+            }
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor buffer: {msg}"),
+            TensorError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Shape::new(vec![4]),
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(
+            err.to_string(),
+            "length mismatch: shape implies 6 elements, got 5"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! IEEE 754 binary16 (half-precision) conversion, implemented from the
+//! bit layout — used by the compressed wire format that halves the split
+//! protocol's activation traffic.
+
+/// Converts an `f32` to its binary16 bit pattern with round-to-nearest-even.
+///
+/// Overflow saturates to ±infinity; values below the smallest subnormal
+/// flush to ±0; NaNs stay NaNs.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Infinity or NaN; keep NaNs signalling-agnostic with a set bit.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+    if half_exp >= 0x1F {
+        return sign | 0x7C00; // overflow → ±inf
+    }
+    if half_exp <= 0 {
+        // Subnormal half (or zero).
+        if half_exp < -10 {
+            return sign; // underflow → ±0
+        }
+        let full_mant = mant | 0x80_0000;
+        let shift = (14 - half_exp) as u32;
+        let half_mant = full_mant >> shift;
+        let round_bit = 1u32 << (shift - 1);
+        let lower = full_mant & (round_bit - 1);
+        let mut h = half_mant;
+        if (full_mant & round_bit) != 0 && (lower != 0 || (half_mant & 1) != 0) {
+            h += 1;
+        }
+        return sign | h as u16;
+    }
+    let mut half = ((half_exp as u32) << 10) | (mant >> 13);
+    let round = mant & 0x1FFF;
+    if round > 0x1000 || (round == 0x1000 && (half & 1) != 0) {
+        half += 1; // may carry into the exponent, which is correct
+    }
+    sign | half as u16
+}
+
+/// Converts a binary16 bit pattern back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = if exp == 0 {
+        if mant == 0 {
+            sign // ±0
+        } else {
+            // Subnormal: value = mant × 2⁻²⁴. Renormalise into f32 with
+            // biased exponent 113 - s, where s shifts the leading bit to
+            // position 10.
+            let mut s = 0u32;
+            let mut m = mant;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                s += 1;
+            }
+            m &= 0x3FF;
+            sign | ((113 - s) << 23) | (m << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13) // inf / NaN
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for &v in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.000061035156f32,
+        ] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(back, v, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f16_bits_to_f32(0x8000).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1e6), 0x7C00);
+        assert_eq!(f32_to_f16_bits(-1e6), 0xFC00);
+        assert!(f16_bits_to_f32(0x7C00).is_infinite());
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000);
+        assert_eq!(f32_to_f16_bits(-1e-10), 0x8000);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn infinity_roundtrips() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+    }
+
+    /// Every one of the 63488 non-NaN f16 bit patterns must survive a
+    /// f16 → f32 → f16 round trip unchanged.
+    #[test]
+    fn all_f16_values_roundtrip_exactly() {
+        for h in 0u16..=u16::MAX {
+            let f = f16_bits_to_f32(h);
+            if f.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(f)).is_nan());
+                continue;
+            }
+            let back = f32_to_f16_bits(f);
+            assert_eq!(back, h, "bit pattern 0x{h:04X} -> {f} -> 0x{back:04X}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-11 is exactly between 1.0 and the next f16 (1.0 + 2^-10):
+        // round-to-even picks 1.0 (even mantissa).
+        let midpoint = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16_bits(midpoint), f32_to_f16_bits(1.0));
+        // Slightly above the midpoint rounds up.
+        let above = 1.0f32 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(above)), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut x = 1e-3f32;
+        while x < 6e4 {
+            let y = f16_bits_to_f32(f32_to_f16_bits(x));
+            let rel = ((y - x) / x).abs();
+            assert!(rel < 1e-3, "x {x}: rel err {rel}");
+            x *= 1.37;
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # medsplit-tensor
+//!
+//! Dense, row-major `f32` tensors with exactly the operations the medsplit
+//! workspace needs to reproduce *Privacy-Preserving Deep Learning
+//! Computation for Geo-Distributed Medical Big-Data Platforms* (DSN 2019):
+//!
+//! - [`Tensor`] — the single numeric container (parameters, activations,
+//!   gradients, wire payloads),
+//! - NumPy-style broadcasting arithmetic ([`Tensor::try_add`] & friends),
+//! - matrix kernels ([`Tensor::matmul`], fused-transpose variants),
+//! - convolution & pooling ([`ops::conv`], [`ops::pool`]) with exact
+//!   backward passes,
+//! - seeded initialisers ([`init`]),
+//! - a byte-exact wire format ([`Tensor::to_bytes`]) that the evaluation's
+//!   communication accounting is built on,
+//! - a small SPD solver ([`linalg`]) for the privacy reconstruction attack.
+//!
+//! ```
+//! use medsplit_tensor::{init, Tensor};
+//!
+//! let mut rng = init::rng_from_seed(42);
+//! let w = init::xavier_uniform([8, 4], &mut rng);
+//! let x = Tensor::rand_normal([4], 0.0, 1.0, &mut rng);
+//! let y = w.matvec(&x)?;
+//! assert_eq!(y.dims(), &[8]);
+//! # Ok::<(), medsplit_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod half;
+pub mod init;
+pub mod linalg;
+pub mod ops;
+mod serialize;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use ops::conv::Conv2dSpec;
+pub use serialize::{serialized_len, serialized_len_f16};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,498 @@
+//! 2-D convolution via im2col / col2im, with forward and backward kernels.
+//!
+//! Layout conventions (matching the rest of the workspace):
+//! - inputs/activations: `NCHW` — `[batch, channels, height, width]`
+//! - filters: `OIHW` — `[out_channels, in_channels, kernel_h, kernel_w]`
+//!
+//! Forward pass lowers each input image to a `[C*KH*KW, OH*OW]` column
+//! matrix and multiplies by the `[O, C*KH*KW]` filter matrix; the backward
+//! pass reuses the same lowering for both the weight gradient (a `matmul_nt`
+//! with the columns) and the input gradient (a `matmul_tn` followed by
+//! `col2im`).
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Hyper-parameters of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride: usize,
+    /// Zero padding applied symmetrically to all four borders.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// A square kernel with the given size, stride and padding.
+    pub fn square(kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dSpec {
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Numerical`] if the window does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kernel_h || pw < self.kernel_w || self.stride == 0 {
+            return Err(TensorError::Numerical(format!(
+                "conv window {}x{} stride {} does not fit input {}x{} (pad {})",
+                self.kernel_h, self.kernel_w, self.stride, h, w, self.padding
+            )));
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
+    }
+}
+
+fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.rank(),
+            op,
+        });
+    }
+    let d = t.dims();
+    Ok((d[0], d[1], d[2], d[3]))
+}
+
+/// Lowers one image (`[C, H, W]` slice of a batch) into a column matrix of
+/// shape `[C*KH*KW, OH*OW]`, written into `cols`.
+#[allow(clippy::too_many_arguments)]
+fn im2col_single(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let ncols = oh * ow;
+    let pad = spec.padding as isize;
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let dst = &mut cols[row * ncols..(row + 1) * ncols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        for _ in 0..ow {
+                            dst[col] = 0.0;
+                            col += 1;
+                        }
+                        continue;
+                    }
+                    let src_row = &img_ch[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        dst[col] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatters a column matrix back into an image, accumulating overlaps —
+/// the adjoint of [`im2col_single`].
+#[allow(clippy::too_many_arguments)]
+fn col2im_single(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    oh: usize,
+    ow: usize,
+    img: &mut [f32],
+) {
+    let ncols = oh * ow;
+    let pad = spec.padding as isize;
+    let mut row = 0usize;
+    for ch in 0..c {
+        let img_ch = &mut img[ch * h * w..(ch + 1) * h * w];
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let src = &cols[row * ncols..(row + 1) * ncols];
+                let mut col = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride) as isize + kh as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        col += ow;
+                        continue;
+                    }
+                    let base = iy as usize * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride) as isize + kw as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            img_ch[base + ix as usize] += src[col];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Lowers a whole `NCHW` batch to a `[N, C*KH*KW, OH*OW]`-shaped tensor
+/// (returned flattened to rank 3).
+///
+/// # Errors
+///
+/// Returns shape errors for non-4-D inputs or non-fitting windows.
+pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "im2col")?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = c * spec.kernel_h * spec.kernel_w;
+    let ncols = oh * ow;
+    let mut out = Tensor::zeros([n, rows, ncols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for i in 0..n {
+        im2col_single(
+            &src[i * c * h * w..(i + 1) * c * h * w],
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut dst[i * rows * ncols..(i + 1) * rows * ncols],
+        );
+    }
+    Ok(out)
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `NCHW`, `weight` is `OIHW`, `bias` (optional) has length `O`.
+/// Returns `[N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns shape errors if dimensions are inconsistent.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "conv2d_forward")?;
+    let (o, ci, kh, kw) = check_nchw(weight, "conv2d_forward(weight)")?;
+    if ci != c || kh != spec.kernel_h || kw != spec.kernel_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().clone(),
+            rhs: weight.shape().clone(),
+            op: "conv2d_forward",
+        });
+    }
+    if let Some(b) = bias {
+        if b.numel() != o {
+            return Err(TensorError::LengthMismatch {
+                expected: o,
+                actual: b.numel(),
+            });
+        }
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = c * kh * kw;
+    let ncols = oh * ow;
+    let wmat = weight.reshape([o, rows])?;
+    let mut out = Tensor::zeros([n, o, oh, ow]);
+    let mut cols = vec![0.0f32; rows * ncols];
+    let src = input.as_slice();
+    for i in 0..n {
+        im2col_single(
+            &src[i * c * h * w..(i + 1) * c * h * w],
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut cols,
+        );
+        let cols_t = Tensor::from_vec(cols.clone(), [rows, ncols])?;
+        let res = wmat.matmul(&cols_t)?; // [o, ncols]
+        let dst = &mut out.as_mut_slice()[i * o * ncols..(i + 1) * o * ncols];
+        dst.copy_from_slice(res.as_slice());
+        if let Some(b) = bias {
+            for oc in 0..o {
+                let bv = b.as_slice()[oc];
+                for v in &mut dst[oc * ncols..(oc + 1) * ncols] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients of a 2-D convolution.
+///
+/// Given the upstream gradient `grad_out` (`[N, O, OH, OW]`), returns
+/// `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Errors
+///
+/// Returns shape errors if dimensions are inconsistent with the forward
+/// pass.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w) = check_nchw(input, "conv2d_backward")?;
+    let (o, _ci, kh, kw) = check_nchw(weight, "conv2d_backward(weight)")?;
+    let (gn, go, goh, gow) = check_nchw(grad_out, "conv2d_backward(grad)")?;
+    let (oh, ow) = spec.output_hw(h, w)?;
+    if gn != n || go != o || goh != oh || gow != ow {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().clone(),
+            rhs: input.shape().clone(),
+            op: "conv2d_backward",
+        });
+    }
+    let rows = c * kh * kw;
+    let ncols = oh * ow;
+    let wmat = weight.reshape([o, rows])?;
+    let mut grad_input = Tensor::zeros([n, c, h, w]);
+    let mut grad_weight = Tensor::zeros([o, rows]);
+    let mut grad_bias = Tensor::zeros([o]);
+    let mut cols = vec![0.0f32; rows * ncols];
+    let src = input.as_slice();
+    let g = grad_out.as_slice();
+    for i in 0..n {
+        im2col_single(
+            &src[i * c * h * w..(i + 1) * c * h * w],
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut cols,
+        );
+        let cols_t = Tensor::from_vec(cols.clone(), [rows, ncols])?;
+        let gmat = Tensor::from_vec(g[i * o * ncols..(i + 1) * o * ncols].to_vec(), [o, ncols])?;
+        // dW += G · colsᵀ
+        let gw = gmat.matmul_nt(&cols_t)?;
+        grad_weight.add_assign(&gw)?;
+        // db += row sums of G
+        for oc in 0..o {
+            let s: f32 = gmat.as_slice()[oc * ncols..(oc + 1) * ncols].iter().sum();
+            grad_bias.as_mut_slice()[oc] += s;
+        }
+        // dcols = Wᵀ · G, then scatter back to image space.
+        let dcols = wmat.matmul_tn(&gmat)?;
+        col2im_single(
+            dcols.as_slice(),
+            c,
+            h,
+            w,
+            spec,
+            oh,
+            ow,
+            &mut grad_input.as_mut_slice()[i * c * h * w..(i + 1) * c * h * w],
+        );
+    }
+    Ok((grad_input, grad_weight.reshape([o, c, kh, kw])?, grad_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_input() -> Tensor {
+        // 1 image, 1 channel, 3x3: values 1..9
+        Tensor::from_vec((1..=9).map(|v| v as f32).collect(), [1, 1, 3, 3]).unwrap()
+    }
+
+    #[test]
+    fn spec_output_sizes() {
+        let s = Conv2dSpec::square(3, 1, 1);
+        assert_eq!(s.output_hw(32, 32).unwrap(), (32, 32));
+        let s2 = Conv2dSpec::square(2, 2, 0);
+        assert_eq!(s2.output_hw(32, 32).unwrap(), (16, 16));
+        assert!(Conv2dSpec::square(5, 1, 0).output_hw(3, 3).is_err());
+        assert!(Conv2dSpec {
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 0,
+            padding: 0
+        }
+        .output_hw(3, 3)
+        .is_err());
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let input = simple_input();
+        // 1x1 kernel with weight 1.0 == identity.
+        let weight = Tensor::ones([1, 1, 1, 1]);
+        let out = conv2d_forward(&input, &weight, None, Conv2dSpec::square(1, 1, 0)).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let input = simple_input();
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        // 3x3 all-ones kernel, valid conv -> sum of all 9 elements = 45.
+        let out = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 1, 0)).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.item(), 45.0);
+        // With padding 1 the centre output stays 45.
+        let padded = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 1, 1)).unwrap();
+        assert_eq!(padded.dims(), &[1, 1, 3, 3]);
+        assert_eq!(padded.get(&[0, 0, 1, 1]).unwrap(), 45.0);
+        // Corner output sums the 2x2 top-left block.
+        assert_eq!(padded.get(&[0, 0, 0, 0]).unwrap(), 1.0 + 2.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let input = simple_input();
+        let weight = Tensor::zeros([2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], [2]).unwrap();
+        let out = conv2d_forward(&input, &weight, Some(&bias), Conv2dSpec::square(1, 1, 0)).unwrap();
+        assert!(out.slice0(0, 1).unwrap().as_slice()[..9]
+            .iter()
+            .all(|&v| v == 1.5));
+        assert!(out.as_slice()[9..].iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn forward_shape_checks() {
+        let input = simple_input();
+        let bad_weight = Tensor::ones([1, 2, 3, 3]); // wrong in-channels
+        assert!(conv2d_forward(&input, &bad_weight, None, Conv2dSpec::square(3, 1, 0)).is_err());
+        let bad_bias = Tensor::ones([3]);
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        assert!(conv2d_forward(&input, &weight, Some(&bad_bias), Conv2dSpec::square(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn im2col_shapes_and_content() {
+        let input = simple_input();
+        let cols = im2col(&input, Conv2dSpec::square(2, 1, 0)).unwrap();
+        // rows = 1*2*2 = 4, ncols = 2*2 = 4
+        assert_eq!(cols.dims(), &[1, 4, 4]);
+        // First row of the column matrix is the top-left value of each window.
+        assert_eq!(&cols.as_slice()[0..4], &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    /// Numerical gradient check of the full conv backward pass.
+    #[test]
+    fn backward_matches_numerical_gradients() {
+        let spec = Conv2dSpec::square(3, 1, 1);
+        let n = 2;
+        let (c, h, w) = (2, 4, 4);
+        let o = 3;
+        let mk = |seed: u32, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32) / 500.0 - 1.0
+                })
+                .collect()
+        };
+        let input = Tensor::from_vec(mk(1, n * c * h * w), [n, c, h, w]).unwrap();
+        let weight = Tensor::from_vec(mk(2, o * c * 9), [o, c, 3, 3]).unwrap();
+        let bias = Tensor::from_vec(mk(3, o), [o]).unwrap();
+
+        // Loss = sum(output * seedmask) so dL/doutput = seedmask.
+        let out = conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+        let mask = Tensor::from_vec(mk(4, out.numel()), out.shape().clone()).unwrap();
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| -> f32 {
+            conv2d_forward(inp, wt, Some(b), spec)
+                .unwrap()
+                .dot(&mask)
+                .unwrap()
+        };
+
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &mask, spec).unwrap();
+
+        let eps = 1e-2;
+        // Spot-check several coordinates of each gradient.
+        for &idx in &[0usize, 7, 19, n * c * h * w - 1] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let ana = gi.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "grad_input[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+        for &idx in &[0usize, 5, o * c * 9 - 1] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = gw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "grad_weight[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+        for idx in 0..o {
+            let mut bp = bias.clone();
+            bp.as_mut_slice()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
+            let ana = gb.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "grad_bias[{idx}]: num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_shape_checks() {
+        let input = simple_input();
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        let wrong_grad = Tensor::ones([1, 1, 2, 2]);
+        assert!(conv2d_backward(&input, &weight, &wrong_grad, Conv2dSpec::square(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn strided_convolution_shape() {
+        let input = Tensor::zeros([2, 3, 8, 8]);
+        let weight = Tensor::zeros([4, 3, 3, 3]);
+        let out = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 2, 1)).unwrap();
+        assert_eq!(out.dims(), &[2, 4, 4, 4]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Tensor operations, grouped by kind.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+
+pub use elementwise::reduce_broadcast;

@@ -1,0 +1,282 @@
+//! Reductions: sums, means, extrema, softmax.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums along `axis`, removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let out_shape = self.shape().without_axis(axis)?;
+        let mut out = Tensor::zeros(out_shape);
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    dst[obase + i] += src[base + i];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Means along `axis`, removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let count = self.dims()[axis].max(1) as f32;
+        Ok(self.sum_axis(axis)?.scale(1.0 / count))
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    ///
+    /// Ties resolve to the lowest index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "argmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let data = self.as_slice();
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Numerically-stable row-wise softmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "softmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for i in 0..r {
+            let row = &mut data[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-wise log-softmax of a rank-2 tensor (stable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn log_softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "log_softmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = self.clone();
+        let data = out.as_mut_slice();
+        for i in 0..r {
+            let row = &mut data[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            let log_z = m + z.ln();
+            for v in row.iter_mut() {
+                *v -= log_z;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Per-column mean and (population) variance of a rank-2 tensor, as a
+    /// pair of rank-1 tensors of length `cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+    pub fn column_stats(&self) -> Result<(Tensor, Tensor)> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "column_stats",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let n = r.max(1) as f32;
+        let data = self.as_slice();
+        let mut mean = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                mean[j] += data[i * c + j];
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; c];
+        for i in 0..r {
+            for j in 0..c {
+                let d = data[i * c + j] - mean[j];
+                var[j] += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n;
+        }
+        Ok((Tensor::from_vec(mean, [c])?, Tensor::from_vec(var, [c])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn sum_axis_all_axes() {
+        let t = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        let s0 = t.sum_axis(0).unwrap();
+        assert_eq!(s0.dims(), &[3, 4]);
+        assert_eq!(s0.get(&[0, 0]).unwrap(), 0.0 + 12.0);
+        let s1 = t.sum_axis(1).unwrap();
+        assert_eq!(s1.dims(), &[2, 4]);
+        assert_eq!(s1.get(&[0, 0]).unwrap(), 0.0 + 4.0 + 8.0);
+        let s2 = t.sum_axis(2).unwrap();
+        assert_eq!(s2.dims(), &[2, 3]);
+        assert_eq!(s2.get(&[0, 0]).unwrap(), 0.0 + 1.0 + 2.0 + 3.0);
+        assert!(t.sum_axis(3).is_err());
+    }
+
+    #[test]
+    fn mean_axis() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let m = t.mean_axis(0).unwrap();
+        assert_eq!(m.as_slice(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn argmax_rows_with_ties() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0, -1.0, -5.0], [2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::arange(3).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], [2, 3]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.row(i).unwrap().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5, "row {i} sums to {row_sum}");
+        }
+        // Large inputs must not overflow (stability check).
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        // Uniform logits -> uniform distribution.
+        assert!((s.get(&[1, 0]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], [1, 3]).unwrap();
+        let ls = t.log_softmax_rows().unwrap();
+        let s = t.softmax_rows().unwrap();
+        for j in 0..3 {
+            assert!((ls.as_slice()[j].exp() - s.as_slice()[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn column_stats_values() {
+        let t = Tensor::from_vec(vec![1.0, 10.0, 3.0, 20.0], [2, 2]).unwrap();
+        let (mean, var) = t.column_stats().unwrap();
+        assert_eq!(mean.as_slice(), &[2.0, 15.0]);
+        assert_eq!(var.as_slice(), &[1.0, 25.0]);
+    }
+}

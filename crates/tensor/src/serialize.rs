@@ -1,0 +1,205 @@
+//! Exact binary (de)serialisation of tensors.
+//!
+//! The wire format is the basis of the paper's evaluation: every byte the
+//! protocols "transmit" is a byte produced by [`Tensor::to_bytes`] (or its
+//! half-precision sibling [`Tensor::to_bytes_f16`]). The format is
+//! deliberately minimal and exact:
+//!
+//! ```text
+//! magic   u32 LE = 0x4D54534E ("MTSN")  — or 0x4D545348 ("MTSH") for f16
+//! rank    u32 LE
+//! dims    rank × u64 LE
+//! data    numel × f32 LE (MTSN)  /  numel × u16 LE f16 bits (MTSH)
+//! ```
+//!
+//! [`Tensor::from_bytes`] detects the magic and decodes either encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Result, TensorError};
+use crate::half::{f16_bits_to_f32, f32_to_f16_bits};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const MAGIC: u32 = 0x4D54_534E;
+const MAGIC_F16: u32 = 0x4D54_5348;
+
+/// Number of bytes [`Tensor::to_bytes`] will produce for a tensor of the
+/// given shape, without serialising.
+pub fn serialized_len(shape: &Shape) -> usize {
+    4 + 4 + 8 * shape.rank() + 4 * shape.numel()
+}
+
+/// Number of bytes [`Tensor::to_bytes_f16`] will produce for a tensor of
+/// the given shape, without serialising.
+pub fn serialized_len_f16(shape: &Shape) -> usize {
+    4 + 4 + 8 * shape.rank() + 2 * shape.numel()
+}
+
+impl Tensor {
+    /// Serialises the tensor to the exact wire format described in the
+    /// module docs.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(serialized_len(self.shape()));
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in self.as_slice() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Serialises the tensor with half-precision payload: identical header,
+    /// `u16` binary16 data. Lossy (each value is rounded to the nearest
+    /// representable f16) but half the activation bytes — the protocol's
+    /// optional compression codec.
+    pub fn to_bytes_f16(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(serialized_len_f16(self.shape()));
+        buf.put_u32_le(MAGIC_F16);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in self.as_slice() {
+            buf.put_u16_le(f32_to_f16_bits(v));
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a tensor written by [`to_bytes`](Self::to_bytes) or
+    /// [`to_bytes_f16`](Self::to_bytes_f16) (the encoding is detected from
+    /// the magic number).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Corrupt`] if the buffer is truncated, has a
+    /// bad magic number, or declares an implausible rank.
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Tensor> {
+        if buf.remaining() < 8 {
+            return Err(TensorError::Corrupt("buffer shorter than header".into()));
+        }
+        let magic = buf.get_u32_le();
+        let half = match magic {
+            MAGIC => false,
+            MAGIC_F16 => true,
+            _ => return Err(TensorError::Corrupt(format!("bad magic 0x{magic:08X}"))),
+        };
+        let rank = buf.get_u32_le() as usize;
+        if rank > 16 {
+            return Err(TensorError::Corrupt(format!("implausible rank {rank}")));
+        }
+        if buf.remaining() < 8 * rank {
+            return Err(TensorError::Corrupt("buffer truncated in dims".into()));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u64_le() as usize);
+        }
+        let shape = Shape::new(dims);
+        let numel = shape.numel();
+        let elem = if half { 2 } else { 4 };
+        if buf.remaining() < elem * numel {
+            return Err(TensorError::Corrupt(format!(
+                "buffer truncated in data: need {} bytes, have {}",
+                elem * numel,
+                buf.remaining()
+            )));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(if half {
+                f16_bits_to_f32(buf.get_u16_le())
+            } else {
+                buf.get_f32_le()
+            });
+        }
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = Tensor::from_vec(vec![1.5, -2.25, 0.0, f32::MIN_POSITIVE], [2, 2]).unwrap();
+        let bytes = t.to_bytes();
+        let back = Tensor::from_bytes(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_scalar_and_empty() {
+        let s = Tensor::scalar(3.25);
+        assert_eq!(Tensor::from_bytes(s.to_bytes()).unwrap(), s);
+        let e = Tensor::zeros([0, 5]);
+        let back = Tensor::from_bytes(e.to_bytes()).unwrap();
+        assert_eq!(back.dims(), &[0, 5]);
+    }
+
+    #[test]
+    fn length_is_exact() {
+        let t = Tensor::zeros([3, 4, 5]);
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), serialized_len(t.shape()));
+        assert_eq!(bytes.len(), 4 + 4 + 8 * 3 + 4 * 60);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = Tensor::zeros([2]).to_bytes().to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            Tensor::from_bytes(&raw[..]),
+            Err(TensorError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = Tensor::zeros([4]).to_bytes();
+        for cut in [0, 4, 9, raw.len() - 1] {
+            assert!(
+                Tensor::from_bytes(&raw[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_is_near_lossless_for_activations() {
+        let t = Tensor::from_vec(vec![0.125, -3.5, 0.0, 1.000_976_6], [2, 2]).unwrap();
+        let back = Tensor::from_bytes(t.to_bytes_f16()).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= a.abs() * 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f16_encoding_is_half_the_payload() {
+        let t = Tensor::zeros([100]);
+        assert_eq!(t.to_bytes().len(), 8 + 8 + 400);
+        assert_eq!(t.to_bytes_f16().len(), 8 + 8 + 200);
+        assert_eq!(t.to_bytes_f16().len(), serialized_len_f16(t.shape()));
+    }
+
+    #[test]
+    fn f16_truncation_detected() {
+        let raw = Tensor::zeros([4]).to_bytes_f16();
+        assert!(Tensor::from_bytes(&raw[..raw.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_rank() {
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        buf.put_u32_le(super::MAGIC);
+        buf.put_u32_le(99);
+        assert!(Tensor::from_bytes(buf.freeze()).is_err());
+    }
+}

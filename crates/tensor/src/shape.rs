@@ -1,0 +1,285 @@
+//! Shapes, strides and broadcasting rules.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+
+/// The dimensions of a tensor, in row-major (C) order.
+///
+/// A `Shape` is a thin, cheaply-clonable wrapper around a `Vec<usize>` that
+/// centralises element counting, stride computation and NumPy-style
+/// broadcasting rules.
+///
+/// ```
+/// use medsplit_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from its dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// The stride of the last axis is 1; a rank-0 shape has no strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index.len() != rank`, and
+    /// [`TensorError::IndexOutOfBounds`] if any coordinate exceeds its
+    /// dimension.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+                op: "offset",
+            });
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, dim: d });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+
+    /// Broadcasts two shapes together following NumPy rules: shapes are
+    /// aligned at the trailing axes; each pair of dimensions must be equal or
+    /// one of them must be 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+    /// broadcast-compatible.
+    #[allow(clippy::needless_range_loop)] // aligned dual-indexing is clearer explicit
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
+            dims[i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: self.clone(),
+                    rhs: other.clone(),
+                    op: "broadcast",
+                });
+            };
+        }
+        Ok(Shape(dims))
+    }
+
+    /// Whether `self` can be broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Ok(b) => &b == target,
+            Err(_) => false,
+        }
+    }
+
+    /// Returns the shape with the given axis removed (used by reductions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn without_axis(&self, axis: usize) -> Result<Shape> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let mut dims = self.0.clone();
+        dims.remove(axis);
+        Ok(Shape(dims))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_row_major() {
+        let s = Shape::from([2, 3]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[0, 2]).unwrap(), 2);
+        assert_eq!(s.offset(&[1, 0]).unwrap(), 3);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn offset_errors() {
+        let s = Shape::from([2, 3]);
+        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[0, 3]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::from([2, 3]));
+        let c = Shape::from([2, 1]);
+        assert_eq!(a.broadcast(&c).unwrap(), Shape::from([2, 3]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::from([4, 5]);
+        let s = Shape::scalar();
+        assert_eq!(a.broadcast(&s).unwrap(), a);
+        assert_eq!(s.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([4]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn broadcasts_to_checks_exact_target() {
+        let a = Shape::from([1, 3]);
+        assert!(a.broadcasts_to(&Shape::from([5, 3])));
+        assert!(!a.broadcasts_to(&Shape::from([5, 4])));
+        // broadcast([5,3],[1,3]) == [5,3] != [1,3], so the reverse is false.
+        assert!(!Shape::from([5, 3]).broadcasts_to(&a));
+    }
+
+    #[test]
+    fn without_axis() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.without_axis(1).unwrap(), Shape::from([2, 4]));
+        assert!(s.without_axis(3).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

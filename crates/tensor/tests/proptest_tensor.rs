@@ -1,0 +1,222 @@
+//! Property-based tests for tensor algebra invariants.
+
+use medsplit_tensor::ops::reduce_broadcast;
+use medsplit_tensor::{Conv2dSpec, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a small shape (rank 1..=3, dims 1..=6).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=6, 1..=3)
+}
+
+/// Strategy producing a tensor with the given shape filled with small
+/// finite values.
+fn tensor_with_shape(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).unwrap())
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(tensor_with_shape)
+}
+
+fn arb_tensor_pair_same_shape() -> impl Strategy<Value = (Tensor, Tensor)> {
+    small_shape().prop_flat_map(|dims| (tensor_with_shape(dims.clone()), tensor_with_shape(dims)))
+}
+
+proptest! {
+    #[test]
+    fn serialize_roundtrip_is_identity(t in arb_tensor()) {
+        let back = Tensor::from_bytes(t.to_bytes()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn serialized_len_matches(t in arb_tensor()) {
+        prop_assert_eq!(t.to_bytes().len(), medsplit_tensor::serialized_len(t.shape()));
+        prop_assert_eq!(t.to_bytes().len(), 4 + 4 + 8 * t.rank() + 4 * t.numel());
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in arb_tensor_pair_same_shape()) {
+        prop_assert!((&a + &b).allclose(&(&b + &a), 1e-4));
+    }
+
+    #[test]
+    fn addition_identity(a in arb_tensor()) {
+        let zero = Tensor::zeros(a.shape().clone());
+        prop_assert!((&a + &zero).allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn subtraction_inverse(a in arb_tensor()) {
+        let diff = &a - &a;
+        prop_assert!(diff.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_distributes((a, b) in arb_tensor_pair_same_shape(), k in -10.0f32..10.0) {
+        let lhs = (&a + &b).scale(k);
+        let rhs = &a.scale(k) + &b.scale(k);
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn sum_matches_manual(a in arb_tensor()) {
+        let manual: f32 = a.as_slice().iter().sum();
+        prop_assert!((a.sum() - manual).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(a in arb_tensor(), axis_sel in 0usize..3) {
+        let axis = axis_sel % a.rank();
+        let reduced = a.sum_axis(axis).unwrap();
+        prop_assert!((reduced.sum() - a.sum()).abs() < 1e-2 * (1.0 + a.sum().abs()));
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in arb_tensor()) {
+        let flat = a.flatten();
+        prop_assert_eq!(flat.as_slice(), a.as_slice());
+        let back = flat.reshape(a.shape().clone()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let t = Tensor::rand_uniform([rows, cols], -1.0, 1.0, &mut rng);
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_identity_both_sides(n in 1usize..6, m in 1usize..6, seed in 0u64..1000) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let a = Tensor::rand_uniform([n, m], -2.0, 2.0, &mut rng);
+        prop_assert!(a.matmul(&Tensor::eye(m)).unwrap().allclose(&a, 1e-5));
+        prop_assert!(Tensor::eye(n).matmul(&a).unwrap().allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(n in 1usize..5, k in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let a = Tensor::rand_uniform([n, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([k, m], -2.0, 2.0, &mut rng);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(n in 1usize..5, k in 1usize..5, m in 1usize..5, seed in 0u64..1000) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let a = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform([k, m], -2.0, 2.0, &mut rng);
+        let fused = a.matmul_tn(&b).unwrap();
+        let direct = a.transpose().unwrap().matmul(&b).unwrap();
+        prop_assert!(fused.allclose(&direct, 1e-3));
+
+        let c = Tensor::rand_uniform([n, k], -2.0, 2.0, &mut rng);
+        let d = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+        let fused2 = c.matmul_nt(&d).unwrap();
+        let direct2 = c.matmul(&d.transpose().unwrap()).unwrap();
+        prop_assert!(fused2.allclose(&direct2, 1e-3));
+    }
+
+    #[test]
+    fn broadcast_shape_is_symmetric(a in small_shape(), b in small_shape()) {
+        let sa = Shape::new(a);
+        let sb = Shape::new(b);
+        match (sa.broadcast(&sb), sb.broadcast(&sa)) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast symmetry violated"),
+        }
+    }
+
+    #[test]
+    fn reduce_broadcast_adjoint_of_expand((a, _) in arb_tensor_pair_same_shape(), seed in 0u64..1000) {
+        // <expand(a), g> == <a, reduce(g)> where expand is broadcast-add with zeros.
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let mut big_dims = vec![3usize];
+        big_dims.extend_from_slice(a.dims());
+        let zeros = Tensor::zeros(big_dims.clone());
+        let expanded = zeros.try_add(&a).unwrap();
+        let g = Tensor::rand_uniform(big_dims, -1.0, 1.0, &mut rng);
+        let lhs = expanded.dot(&g).unwrap();
+        let reduced = reduce_broadcast(&g, a.shape()).unwrap();
+        let rhs = a.dot(&reduced).unwrap() + zeros.dot(&g).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(rows in 1usize..5, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let t = Tensor::rand_uniform([rows, cols], -20.0, 20.0, &mut rng);
+        let s = t.softmax_rows().unwrap();
+        for i in 0..rows {
+            let sum: f32 = s.row(i).unwrap().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn conv_output_shape_formula(h in 3usize..12, w in 3usize..12, k in 1usize..4, stride in 1usize..3, pad in 0usize..2) {
+        let spec = Conv2dSpec::square(k, stride, pad);
+        if let Ok((oh, ow)) = spec.output_hw(h, w) {
+            prop_assert_eq!(oh, (h + 2 * pad - k) / stride + 1);
+            prop_assert_eq!(ow, (w + 2 * pad - k) / stride + 1);
+            let input = Tensor::zeros([1, 1, h, w]);
+            let weight = Tensor::zeros([2, 1, k, k]);
+            let out = medsplit_tensor::ops::conv::conv2d_forward(&input, &weight, None, spec).unwrap();
+            prop_assert_eq!(out.dims(), &[1, 2, oh, ow]);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..500) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let spec = Conv2dSpec::square(3, 1, 1);
+        let w = Tensor::rand_uniform([2, 1, 3, 3], -1.0, 1.0, &mut rng);
+        let x1 = Tensor::rand_uniform([1, 1, 5, 5], -1.0, 1.0, &mut rng);
+        let x2 = Tensor::rand_uniform([1, 1, 5, 5], -1.0, 1.0, &mut rng);
+        let y_sum = medsplit_tensor::ops::conv::conv2d_forward(&x1.try_add(&x2).unwrap(), &w, None, spec).unwrap();
+        let y1 = medsplit_tensor::ops::conv::conv2d_forward(&x1, &w, None, spec).unwrap();
+        let y2 = medsplit_tensor::ops::conv::conv2d_forward(&x2, &w, None, spec).unwrap();
+        prop_assert!(y_sum.allclose(&y1.try_add(&y2).unwrap(), 1e-3));
+    }
+
+    #[test]
+    fn conv_backward_is_adjoint(seed in 0u64..200) {
+        // <conv(x), g> == <x, conv_backward_input(g)>
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        let spec = Conv2dSpec::square(3, 1, 1);
+        let w = Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let x = Tensor::rand_uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let y = medsplit_tensor::ops::conv::conv2d_forward(&x, &w, None, spec).unwrap();
+        let g = Tensor::rand_uniform(y.shape().clone(), -1.0, 1.0, &mut rng);
+        let (gx, _, _) = medsplit_tensor::ops::conv::conv2d_backward(&x, &w, &g, spec).unwrap();
+        let lhs = y.dot(&g).unwrap();
+        let rhs = x.dot(&gx).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small(n in 1usize..6, seed in 0u64..500) {
+        let mut rng = medsplit_tensor::init::rng_from_seed(seed);
+        // Build SPD matrix A = MᵀM + I.
+        let m = Tensor::rand_uniform([n, n], -1.0, 1.0, &mut rng);
+        let mut a = m.matmul_tn(&m).unwrap();
+        for i in 0..n {
+            a.as_mut_slice()[i * n + i] += 1.0;
+        }
+        let b = Tensor::rand_uniform([n, 1], -1.0, 1.0, &mut rng);
+        let x = medsplit_tensor::linalg::solve_spd(&a, &b).unwrap();
+        let residual = a.matmul(&x).unwrap().try_sub(&b).unwrap().norm();
+        prop_assert!(residual < 1e-3, "residual {}", residual);
+    }
+}

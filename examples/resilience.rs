@@ -1,0 +1,129 @@
+//! Operational resilience: what happens when hospitals crash or lag, and
+//! how the server recovers from its own failures.
+//!
+//! Part 1 — a hospital dies mid-study and another straggles: large-scale
+//! synchronous SGD stalls without backup workers, survives with them.
+//! Part 2 — the central server crashes: training resumes from a
+//! checkpoint blob without retraining.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example resilience --release
+//! ```
+
+use medsplit::baselines::{train_sync_sgd, BaselineConfig, SyncSgdOptions};
+use medsplit::core::{SplitConfig, SplitTrainer};
+use medsplit::data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
+use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
+use medsplit::simnet::{FaultKind, FaultyTransport, MemoryTransport, NodeId, StarTopology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = Architecture::Mlp(MlpConfig {
+        input_dim: 12,
+        hidden: vec![32, 16],
+        num_classes: 4,
+    });
+    let mut gen = SyntheticTabular::new(4, 12, 3);
+    gen.separation = 0.8;
+    let all = gen.generate(500)?;
+    let train = all.subset(&(0..400).collect::<Vec<_>>())?;
+    let test = all.subset(&(400..500).collect::<Vec<_>>())?;
+    let shards = partition(&train, 4, &Partition::Iid, 1)?;
+
+    // ---- Part 1: dead + straggling hospitals under sync-SGD -------------
+    println!("== Part 1: hospital failures under large-scale synchronous SGD ==");
+    let config = BaselineConfig {
+        rounds: 60,
+        eval_every: 0,
+        lr: LrSchedule::Constant(0.1),
+        minibatch: MinibatchPolicy::Fixed(8),
+        ..Default::default()
+    };
+
+    // Without backup workers, one dead hospital stalls the whole study.
+    {
+        let transport = FaultyTransport::new(MemoryTransport::new(StarTopology::new(4)));
+        transport.set_fault(NodeId::Platform(1), FaultKind::Dead);
+        match train_sync_sgd(
+            &arch,
+            &config,
+            SyncSgdOptions::default(),
+            shards.clone(),
+            &test,
+            &transport,
+        ) {
+            Err(e) => println!("no backups, hospital 1 dead  -> training stalls: {e}"),
+            Ok(_) => println!("unexpected success"),
+        }
+    }
+    // With one backup worker the study completes despite a death AND a
+    // straggler.
+    {
+        let transport = FaultyTransport::new(MemoryTransport::new(StarTopology::new(4)));
+        transport.set_fault(NodeId::Platform(1), FaultKind::Dead);
+        transport.set_fault(NodeId::Platform(3), FaultKind::Slow(3.0));
+        let history = train_sync_sgd(
+            &arch,
+            &config,
+            SyncSgdOptions { backup_workers: 1 },
+            shards.clone(),
+            &test,
+            &transport,
+        )?;
+        println!(
+            "1 backup, hospital 1 dead + hospital 3 slow -> {:.1}% accuracy, {:.1} s simulated",
+            history.final_accuracy * 100.0,
+            history.stats.makespan_s
+        );
+    }
+
+    // ---- Part 2: server crash + checkpoint recovery under split ---------
+    println!("\n== Part 2: server crash recovery under split learning ==");
+    let split_config = SplitConfig {
+        rounds: 40,
+        eval_every: 0,
+        lr: LrSchedule::Constant(0.1),
+        minibatch: MinibatchPolicy::Fixed(8),
+        momentum: 0.0,
+        ..SplitConfig::default()
+    };
+    let t1 = MemoryTransport::new(StarTopology::new(4));
+    let mut phase1 = SplitTrainer::new(&arch, split_config.clone(), shards.clone(), test.clone(), &t1)?;
+    let h1 = phase1.run()?;
+    let server_blob = phase1.server_mut().checkpoint();
+    let platform_blobs: Vec<_> = phase1
+        .platforms_mut()
+        .iter_mut()
+        .map(|p| p.checkpoint())
+        .collect();
+    println!(
+        "phase 1: {:.1}% accuracy after {} rounds; checkpointed {} server bytes",
+        h1.final_accuracy * 100.0,
+        split_config.rounds,
+        server_blob.len()
+    );
+
+    // The server "crashes": a brand-new deployment restores the blobs.
+    let t2 = MemoryTransport::new(StarTopology::new(4));
+    let mut cfg2 = split_config;
+    cfg2.seed = 12345; // fresh random init — only the checkpoint carries state
+    let mut phase2 = SplitTrainer::new(&arch, cfg2, shards, test, &t2)?;
+    phase2.server_mut().restore(&server_blob)?;
+    for (p, blob) in phase2.platforms_mut().iter_mut().zip(&platform_blobs) {
+        p.restore(blob)?;
+    }
+    let resumed = phase2.evaluate()?;
+    println!(
+        "phase 2: restored accuracy {:.1}% (bit-exact match: {})",
+        resumed * 100.0,
+        resumed == h1.final_accuracy
+    );
+    let h2 = phase2.run()?;
+    println!(
+        "phase 2: {:.1}% accuracy after {} more rounds — study completed despite the crash",
+        h2.final_accuracy * 100.0,
+        40
+    );
+    Ok(())
+}

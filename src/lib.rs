@@ -1,0 +1,58 @@
+//! # medsplit
+//!
+//! Privacy-preserving split learning for geo-distributed medical big-data
+//! platforms — a from-scratch Rust reproduction of Jeon et al.,
+//! *Privacy-Preserving Deep Learning Computation for Geo-Distributed
+//! Medical Big-Data Platforms* (DSN 2019).
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! - [`tensor`] — dense f32 tensors, convolution kernels, the exact wire
+//!   format ([`medsplit_tensor`]),
+//! - [`nn`] — layers, optimisers and the VGG/ResNet model zoo
+//!   ([`medsplit_nn`]),
+//! - [`data`] — synthetic CIFAR-like datasets, partitioning and the
+//!   proportional-minibatch policy ([`medsplit_data`]),
+//! - [`simnet`] — the star-topology network simulator with exact byte
+//!   accounting ([`medsplit_simnet`]),
+//! - [`core`] — the split-learning protocol itself ([`medsplit_core`]),
+//! - [`baselines`] — FedAvg, large-scale sync SGD, local-only and
+//!   centralised training ([`medsplit_baselines`]),
+//! - [`privacy`] — leakage metrics and reconstruction attacks
+//!   ([`medsplit_privacy`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use medsplit::core::{SplitConfig, SplitTrainer};
+//! use medsplit::data::{partition, Partition, SyntheticTabular};
+//! use medsplit::nn::{Architecture, MlpConfig};
+//! use medsplit::simnet::{MemoryTransport, StarTopology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three hospitals, one server; raw data never leaves a hospital.
+//! let arch = Architecture::Mlp(MlpConfig::small(8, 3));
+//! let all = SyntheticTabular::new(3, 8, 0).generate(120)?;
+//! let train = all.subset(&(0..90).collect::<Vec<_>>())?;
+//! let test = all.subset(&(90..120).collect::<Vec<_>>())?;
+//! let shards = partition(&train, 3, &Partition::Iid, 7)?;
+//! let transport = MemoryTransport::new(StarTopology::new(3));
+//!
+//! let config = SplitConfig { rounds: 20, eval_every: 10, ..SplitConfig::default() };
+//! let mut trainer = SplitTrainer::new(&arch, config, shards, test, &transport)?;
+//! let history = trainer.run()?;
+//! println!("accuracy {:.1}% after {} transmitted bytes",
+//!          history.final_accuracy * 100.0, history.stats.total_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use medsplit_baselines as baselines;
+pub use medsplit_core as core;
+pub use medsplit_data as data;
+pub use medsplit_nn as nn;
+pub use medsplit_privacy as privacy;
+pub use medsplit_simnet as simnet;
+pub use medsplit_tensor as tensor;

@@ -1,0 +1,128 @@
+//! Failure recovery: the server (or a platform) crashes mid-training and
+//! resumes from a checkpoint.
+
+use medsplit::core::{SplitConfig, SplitTrainer};
+use medsplit::data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
+use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
+use medsplit::simnet::{MemoryTransport, StarTopology};
+
+fn setup() -> (
+    Architecture,
+    Vec<medsplit::data::InMemoryDataset>,
+    medsplit::data::InMemoryDataset,
+) {
+    let arch = Architecture::Mlp(MlpConfig {
+        input_dim: 8,
+        hidden: vec![16],
+        num_classes: 3,
+    });
+    let mut gen = SyntheticTabular::new(3, 8, 6);
+    gen.separation = 0.8;
+    let all = gen.generate(200).unwrap();
+    let train = all.subset(&(0..160).collect::<Vec<_>>()).unwrap();
+    let test = all.subset(&(160..200).collect::<Vec<_>>()).unwrap();
+    let shards = partition(&train, 2, &Partition::Iid, 1).unwrap();
+    (arch, shards, test)
+}
+
+fn config(rounds: usize) -> SplitConfig {
+    SplitConfig {
+        rounds,
+        eval_every: 0,
+        lr: LrSchedule::Constant(0.1),
+        minibatch: MinibatchPolicy::Fixed(8),
+        momentum: 0.0, // parameter-only checkpoints are exact without momentum
+        ..SplitConfig::default()
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_the_model_exactly() {
+    let (arch, shards, test) = setup();
+    let transport = MemoryTransport::new(StarTopology::new(2));
+    let mut trainer = SplitTrainer::new(&arch, config(10), shards, test.clone(), &transport).unwrap();
+    let _ = trainer.run().unwrap();
+    let acc_before = trainer.evaluate().unwrap();
+
+    // Checkpoint everything.
+    let server_ckpt = trainer.server_mut().checkpoint();
+    let platform_ckpts: Vec<_> = trainer
+        .platforms_mut()
+        .iter_mut()
+        .map(|p| p.checkpoint())
+        .collect();
+
+    // "Crash": clobber the models with garbage.
+    let n_server = medsplit::nn::vectorize::snapshot_vector(trainer.server_mut().model_mut()).numel();
+    medsplit::nn::vectorize::load_snapshot_vector(
+        trainer.server_mut().model_mut(),
+        &medsplit::tensor::Tensor::zeros([n_server]),
+    )
+    .unwrap();
+    let acc_crashed = trainer.evaluate().unwrap();
+    assert!(
+        acc_crashed < acc_before,
+        "clobbering should hurt: {acc_crashed} vs {acc_before}"
+    );
+
+    // Restore and verify bit-exact recovery.
+    trainer.server_mut().restore(&server_ckpt).unwrap();
+    for (p, ckpt) in trainer.platforms_mut().iter_mut().zip(&platform_ckpts) {
+        p.restore(ckpt).unwrap();
+    }
+    let acc_restored = trainer.evaluate().unwrap();
+    assert_eq!(acc_restored, acc_before, "restore must be exact");
+}
+
+#[test]
+fn restored_server_continues_training() {
+    let (arch, shards, test) = setup();
+
+    // Phase 1: train, checkpoint.
+    let t1 = MemoryTransport::new(StarTopology::new(2));
+    let mut trainer1 = SplitTrainer::new(&arch, config(30), shards.clone(), test.clone(), &t1).unwrap();
+    let h1 = trainer1.run().unwrap();
+    let server_ckpt = trainer1.server_mut().checkpoint();
+    let platform_ckpts: Vec<_> = trainer1
+        .platforms_mut()
+        .iter_mut()
+        .map(|p| p.checkpoint())
+        .collect();
+
+    // Phase 2: a brand-new trainer (fresh random init), restored from the
+    // checkpoints, must start from — and improve on — the phase-1 model.
+    let t2 = MemoryTransport::new(StarTopology::new(2));
+    let mut cfg2 = config(30);
+    cfg2.seed = 999; // different init; only the checkpoint carries state over
+    let mut trainer2 = SplitTrainer::new(&arch, cfg2, shards, test, &t2).unwrap();
+    trainer2.server_mut().restore(&server_ckpt).unwrap();
+    for (p, ckpt) in trainer2.platforms_mut().iter_mut().zip(&platform_ckpts) {
+        p.restore(ckpt).unwrap();
+    }
+    let resumed_start = trainer2.evaluate().unwrap();
+    assert!(
+        (resumed_start - h1.final_accuracy).abs() < 1e-6,
+        "restored model must match the checkpointed one: {resumed_start} vs {}",
+        h1.final_accuracy
+    );
+    let h2 = trainer2.run().unwrap();
+    assert!(
+        h2.final_accuracy >= resumed_start - 0.05,
+        "continued training regressed: {} -> {}",
+        resumed_start,
+        h2.final_accuracy
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected() {
+    let (arch, shards, test) = setup();
+    let transport = MemoryTransport::new(StarTopology::new(2));
+    let mut trainer = SplitTrainer::new(&arch, config(1), shards, test, &transport).unwrap();
+    let mut blob = trainer.server_mut().checkpoint().to_vec();
+    blob.truncate(blob.len() / 2);
+    assert!(trainer.server_mut().restore(&bytes::Bytes::from(blob)).is_err());
+    // Wrong-architecture checkpoint also rejected.
+    let platform_ckpt = trainer.platforms_mut()[0].checkpoint();
+    assert!(trainer.server_mut().restore(&platform_ckpt).is_err());
+}

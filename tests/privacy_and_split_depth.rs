@@ -1,0 +1,112 @@
+//! End-to-end privacy properties of the deployed protocol: what the
+//! transmitted representation reveals, and how the cut depth trades
+//! communication against leakage.
+
+use medsplit::core::{SplitConfig, SplitPoint, SplitTrainer};
+use medsplit::data::{partition, Partition, SyntheticImages};
+use medsplit::nn::{Architecture, LrSchedule, VggConfig};
+use medsplit::privacy::{assess_l1_leakage, distance_correlation, flatten_samples};
+use medsplit::simnet::{MemoryTransport, StarTopology};
+
+fn workload() -> (
+    Architecture,
+    Vec<medsplit::data::InMemoryDataset>,
+    medsplit::data::InMemoryDataset,
+) {
+    let gen = SyntheticImages::lite(4, 11);
+    let (train, test) = gen.generate_split(160, 80).unwrap();
+    let shards = partition(&train, 2, &Partition::Iid, 1).unwrap();
+    (Architecture::Vgg(VggConfig::lite(4)), shards, test)
+}
+
+fn train_at_cut(cut: SplitPoint, rounds: usize) -> (f64, f32, u64) {
+    let (arch, shards, test) = workload();
+    let transport = MemoryTransport::new(StarTopology::new(2));
+    let config = SplitConfig {
+        split: cut,
+        rounds,
+        eval_every: 0,
+        lr: LrSchedule::Constant(0.05),
+        ..SplitConfig::default()
+    };
+    let mut trainer = SplitTrainer::new(&arch, config, shards, test.clone(), &transport).unwrap();
+    let history = trainer.run().unwrap();
+    let idx: Vec<usize> = (0..64).collect();
+    let (inputs, _) = test.batch(&idx).unwrap();
+    let report = assess_l1_leakage(trainer.platforms_mut()[0].model_mut(), &inputs, 1e-2).unwrap();
+    (
+        report.dcor,
+        report.reconstruction.r_squared,
+        history.stats.total_bytes,
+    )
+}
+
+#[test]
+fn deeper_cuts_transmit_less_and_leak_less() {
+    // Cut 3: after the first conv block (paper default, index 3 with BN).
+    // Cut 8: after the second pooling stage — 4x smaller activations.
+    let (dcor_shallow, r2_shallow, bytes_shallow) = train_at_cut(SplitPoint::At(3), 6);
+    let (dcor_deep, r2_deep, bytes_deep) = train_at_cut(SplitPoint::At(8), 6);
+    assert!(
+        bytes_deep < bytes_shallow,
+        "deeper cut must transmit less: {bytes_deep} vs {bytes_shallow}"
+    );
+    assert!(
+        dcor_deep < dcor_shallow,
+        "deeper cut must reduce distance correlation: {dcor_deep} vs {dcor_shallow}"
+    );
+    assert!(
+        r2_deep <= r2_shallow + 0.05,
+        "deeper cut must not leak more: {r2_deep} vs {r2_shallow}"
+    );
+}
+
+#[test]
+fn transmitted_activations_are_not_the_raw_images() {
+    let (arch, shards, test) = workload();
+    let transport = MemoryTransport::new(StarTopology::new(2));
+    let config = SplitConfig {
+        rounds: 4,
+        eval_every: 0,
+        ..SplitConfig::default()
+    };
+    let mut trainer = SplitTrainer::new(&arch, config, shards, test.clone(), &transport).unwrap();
+    let _ = trainer.run().unwrap();
+
+    let idx: Vec<usize> = (0..40).collect();
+    let (inputs, _) = test.batch(&idx).unwrap();
+    let acts = trainer.platforms_mut()[0].infer_l1(&inputs).unwrap();
+    // The representation is genuinely transformed: not a copy, and the
+    // dependence is strictly below identity.
+    assert_ne!(acts.shape(), inputs.shape());
+    let d = distance_correlation(
+        &flatten_samples(&inputs).unwrap(),
+        &flatten_samples(&acts).unwrap(),
+    )
+    .unwrap();
+    assert!(d < 0.999, "activations must not be a trivial copy (dcor {d})");
+    assert!(d > 0.05, "activations should retain task information (dcor {d})");
+}
+
+#[test]
+fn labels_never_leave_the_platform() {
+    // Structural check: the platform's outbound messages are activations
+    // and logit gradients only; batch labels exist nowhere in the payload
+    // sizes. (Labels would add `batch` extra scalars to some message.)
+    let (arch, shards, test) = workload();
+    let transport = MemoryTransport::new(StarTopology::new(2));
+    let config = SplitConfig {
+        rounds: 1,
+        eval_every: 0,
+        minibatch: medsplit::data::MinibatchPolicy::Fixed(8),
+        ..SplitConfig::default()
+    };
+    let mut trainer = SplitTrainer::new(&arch, config, shards, test, &transport).unwrap();
+    let h = trainer.run().unwrap();
+    use medsplit::simnet::MessageKind;
+    use medsplit::tensor::{serialized_len, Shape};
+    // Exactly batch x classes floats per logits/grads message: no room for labels.
+    let logits_bytes = h.stats.bytes_of(MessageKind::LogitGrads);
+    let expected = 2 * (serialized_len(&Shape::from([8usize, 4])) + medsplit::simnet::HEADER_BYTES) as u64;
+    assert_eq!(logits_bytes, expected);
+}
