@@ -258,13 +258,21 @@ impl Platform {
     }
 
     /// Runs the local `L1` in inference mode (used to compose the deployed
-    /// model during evaluation).
+    /// model during evaluation and by the serving path).
+    ///
+    /// The forward runs in [`Mode::Eval`] and the model's recorded mode is
+    /// restored afterwards, so serving a request mid-training leaves the
+    /// training state (cached activations, running statistics, mode
+    /// bookkeeping) untouched.
     ///
     /// # Errors
     ///
     /// Propagates tensor errors.
     pub fn infer_l1(&mut self, features: &Tensor) -> Result<Tensor> {
-        let acts = self.model.forward(features, Mode::Eval)?;
+        let prior = self.model.mode();
+        let result = self.model.forward(features, Mode::Eval);
+        self.model.set_mode(prior);
+        let acts = result?;
         // The deployed system also transmits activations at inference
         // time, so the privacy noise applies there too.
         Ok(self.noised(acts))
@@ -407,5 +415,54 @@ mod tests {
             &Tensor::zeros([5, 3]),
         );
         assert!(p.handle_logits(&logits_env).is_ok());
+        // The full round must still complete: backward consumes the cache
+        // from start_round, not from the interleaved inference.
+        let cut_env = tensor_envelope(
+            NodeId::Server,
+            p.node(),
+            0,
+            MessageKind::CutGrads,
+            &Tensor::ones([5, 6]),
+        );
+        assert!(p.handle_cut_grads(&cut_env).is_ok());
+    }
+
+    /// An `L1` with every mode-sensitive layer the library has.
+    fn stochastic_l1(seed: u64) -> Sequential {
+        let mut rng = rng_from_seed(seed);
+        let mut s = Sequential::new("l1");
+        s.push(Dense::new(4, 6, &mut rng));
+        s.push(medsplit_nn::BatchNorm::new(6));
+        s.push(medsplit_nn::Dropout::new(0.5, seed));
+        s.push(Activation::relu());
+        s
+    }
+
+    #[test]
+    fn inference_is_deterministic_and_restores_mode() {
+        let data = SyntheticTabular::new(3, 4, 9).generate(20).unwrap();
+        let mut p = Platform::new(0, stochastic_l1(9), data, 5, 0.0, 9);
+        // Put the model firmly into training state first.
+        let _ = p.start_round(0).unwrap();
+        assert_eq!(p.model_mut().mode(), Mode::Train);
+        let mut state_before = Vec::new();
+        p.model_mut().visit_state(&mut |t| state_before.push(t.clone()));
+
+        let x = Tensor::from_vec((0..8).map(|i| i as f32 * 0.25).collect(), [2, 4]).unwrap();
+        let a = p.infer_l1(&x).unwrap();
+        let b = p.infer_l1(&x).unwrap();
+        let c = p.infer_l1(&x).unwrap();
+        // Eval mode: dropout off, running stats used — bit-identical runs.
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(b.as_slice(), c.as_slice());
+
+        // The recorded mode is restored and no state was touched.
+        assert_eq!(p.model_mut().mode(), Mode::Train);
+        let mut state_after = Vec::new();
+        p.model_mut().visit_state(&mut |t| state_after.push(t.clone()));
+        assert_eq!(state_before.len(), state_after.len());
+        for (before, after) in state_before.iter().zip(&state_after) {
+            assert_eq!(before.as_slice(), after.as_slice(), "running stats changed");
+        }
     }
 }

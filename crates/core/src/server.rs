@@ -82,13 +82,22 @@ impl SplitServer {
     }
 
     /// Runs the server layers in inference mode (used to compose the
-    /// deployed model during evaluation).
+    /// deployed model during evaluation and by the serving path).
+    ///
+    /// The forward runs in [`Mode::Eval`] and the model's recorded mode is
+    /// restored afterwards, so inference interleaved with training leaves
+    /// no trace: no dropout, no running-statistics updates, no cached
+    /// backward state, and the mode bookkeeping a caller may rely on is
+    /// unchanged.
     ///
     /// # Errors
     ///
     /// Propagates tensor errors.
     pub fn infer(&mut self, activations: &Tensor) -> Result<Tensor> {
-        Ok(self.model.forward(activations, Mode::Eval)?)
+        let prior = self.model.mode();
+        let result = self.model.forward(activations, Mode::Eval);
+        self.model.set_mode(prior);
+        Ok(result?)
     }
 
     /// Serialises the server model (parameters + batch-norm state) into a
@@ -387,6 +396,28 @@ mod tests {
         let _ = s.aggregate_backward(&[grads_env(0, 4, 0)]).unwrap();
         let after = medsplit_nn::vectorize::parameter_vector(s.model_mut());
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn infer_is_deterministic_and_restores_mode() {
+        let mut rng = rng_from_seed(5);
+        let mut m = Sequential::new("server");
+        m.push(Dense::new(6, 8, &mut rng));
+        m.push(medsplit_nn::BatchNorm::new(8));
+        m.push(medsplit_nn::Dropout::new(0.3, 5));
+        m.push(Dense::new(8, 3, &mut rng));
+        let mut s = SplitServer::new(m, 0.0);
+
+        // Mid-training inference: a forward is in flight.
+        let _ = s.platform_forward(&acts_env(0, 2, 0)).unwrap();
+        assert_eq!(s.model_mut().mode(), Mode::Train);
+        let x = Tensor::full([4, 6], 0.5);
+        let a = s.infer(&x).unwrap();
+        let b = s.infer(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "eval inference must be deterministic");
+        assert_eq!(s.model_mut().mode(), Mode::Train, "mode must be restored");
+        // The in-flight exchange still completes against the training cache.
+        assert!(s.platform_backward(&grads_env(0, 2, 0)).is_ok());
     }
 
     #[test]

@@ -26,9 +26,6 @@ pub struct BatchNorm {
     cached_inv_std: Option<Vec<f32>>,
     /// Shape of the last training input.
     cached_dims: Option<Vec<usize>>,
-    /// Whether the last forward ran in eval mode (changes the backward
-    /// formula: running stats are constants w.r.t. the input).
-    last_was_eval: bool,
 }
 
 /// Layout helper: interprets a rank-2 or rank-4 tensor as
@@ -60,7 +57,6 @@ impl BatchNorm {
             cached_xhat: None,
             cached_inv_std: None,
             cached_dims: None,
-            last_was_eval: false,
         }
     }
 
@@ -148,7 +144,6 @@ impl Layer for BatchNorm {
                 }
             }
         }
-        self.last_was_eval = mode == Mode::Eval;
         if mode == Mode::Train {
             self.cached_xhat = Some(xhat);
             self.cached_inv_std = Some(inv_std);

@@ -29,6 +29,8 @@ use crate::param::Param;
 pub struct Sequential {
     name: String,
     layers: Vec<Box<dyn Layer>>,
+    /// Mode of the most recent forward pass (defaults to [`Mode::Train`]).
+    mode: Mode,
 }
 
 impl Sequential {
@@ -37,7 +39,22 @@ impl Sequential {
         Sequential {
             name: name.into(),
             layers: Vec::new(),
+            mode: Mode::Train,
         }
+    }
+
+    /// The mode of the most recent [`forward`](Layer::forward) call
+    /// ([`Mode::Train`] before any forward has run). Inference entry
+    /// points use this to restore the prior mode after a temporary
+    /// eval-mode forward.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Overrides the recorded mode (used to restore the pre-inference
+    /// mode after an eval-mode forward).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
     }
 
     /// Appends a layer. Returns `&mut self` for chaining.
@@ -86,6 +103,7 @@ impl Sequential {
         Sequential {
             name: format!("{}[{}..]", self.name, at),
             layers: tail,
+            mode: self.mode,
         }
     }
 
@@ -97,6 +115,7 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.mode = mode;
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, mode)?;
@@ -229,6 +248,21 @@ mod tests {
         assert!(format!("{m:?}").contains("mlp"));
         assert_eq!(m.layer_summaries().len(), 3);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn mode_tracks_last_forward() {
+        let mut m = mlp(8);
+        assert_eq!(m.mode(), Mode::Train);
+        m.forward(&Tensor::ones([1, 4]), Mode::Eval).unwrap();
+        assert_eq!(m.mode(), Mode::Eval);
+        m.forward(&Tensor::ones([1, 4]), Mode::Train).unwrap();
+        assert_eq!(m.mode(), Mode::Train);
+        m.set_mode(Mode::Eval);
+        assert_eq!(m.mode(), Mode::Eval);
+        // split_off inherits the recorded mode.
+        let tail = m.split_off(1);
+        assert_eq!(tail.mode(), Mode::Eval);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! `medsplit-serve`: split-inference serving for the geo-distributed
+//! medical platform simulation.
+//!
+//! Training (the other crates) answers *how the model is learned without
+//! moving patient data*; this crate answers *how the learned model is
+//! used* under the same constraint. A deployed platform keeps `L1` local,
+//! runs it over an incoming query, and ships the (possibly noised)
+//! activations to the central server, which batches requests from all
+//! platforms, runs `L2..Lk` forward-only, and returns logits — raw
+//! features still never leave the hospital.
+//!
+//! The pieces:
+//!
+//! - [`wire`]: request/response payload formats over the simnet
+//!   [`Envelope`](medsplit_simnet::Envelope), with their own
+//!   [`MessageKind`](medsplit_simnet::MessageKind)s so serving traffic is
+//!   accounted separately from training.
+//! - [`batcher`]: a pure dynamic-batching state machine (flush on size or
+//!   age) with bounded-queue admission control.
+//! - [`runtime`]: the thread-per-node serving loop with simulated-time
+//!   latency accounting, deadlines, and explicit rejection/timeout
+//!   responses.
+//! - [`metrics`]: p50/p95/p99 latency summaries and per-request byte
+//!   accounting.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod metrics;
+pub mod runtime;
+pub mod wire;
+
+pub use batcher::{Admission, BatchEntry, DynamicBatcher};
+pub use metrics::{LatencySummary, ServeReport};
+pub use runtime::{serve_threaded, ClientRecord, ServeConfig, ServeOutcome};
+pub use wire::{
+    decode_request, decode_response, encode_request, encode_response, InferRequest, InferResponse,
+    InferStatus,
+};

@@ -1,0 +1,480 @@
+//! Thread-per-node serving runtime over the simulated network.
+//!
+//! Mirrors the training runtime (`medsplit_core::threaded`): every
+//! platform and the server run on their own OS thread and communicate
+//! exclusively through a shared [`Transport`]. Clients submit requests
+//! open-loop at a configured rate; the server decodes activation
+//! envelopes, batches them with [`DynamicBatcher`], runs `L2..Lk`
+//! forward-only, and answers every request explicitly — logits, a
+//! rejection, or a timeout.
+//!
+//! Timing is simulated: requests carry their submission time, the server
+//! reconstructs arrival times from the topology's link model, serving
+//! advances a single-executor busy clock (`batch_setup_s` +
+//! `per_item_s·n` per batch), and clients compute end-to-end latency from
+//! the served timestamp plus the downlink transfer time. Because the
+//! clients' streams interleave arbitrarily in wall-clock time, the server
+//! first collects all requests and then replays them in simulated-arrival
+//! order (a discrete-event simulation), so batch composition, admission
+//! decisions, and every reported latency are deterministic — wall-clock
+//! thread scheduling never affects the results.
+
+use std::time::Duration;
+
+use medsplit_core::{Platform, Result, SplitError, SplitServer, WireCodec};
+use medsplit_simnet::threaded::run_per_node;
+use medsplit_simnet::{Envelope, MessageKind, NodeId, StarTopology, StatsSnapshot, Transport};
+use medsplit_tensor::Tensor;
+
+use crate::batcher::{Admission, BatchEntry, DynamicBatcher};
+use crate::metrics::{LatencySummary, ServeReport};
+use crate::wire::{decode_request, decode_response, encode_request, encode_response, InferStatus};
+
+/// How long a node thread waits on an empty inbox before giving up.
+const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Serving-runtime parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch when this many requests are pending.
+    pub max_batch: usize,
+    /// Flush a batch when the oldest pending request has waited this long
+    /// (simulated seconds; `INFINITY` = flush on size only).
+    pub max_wait_s: f64,
+    /// Admission-control bound on the pending queue; requests beyond it
+    /// are rejected.
+    pub queue_capacity: usize,
+    /// Per-request deadline relative to submission (simulated seconds;
+    /// `INFINITY` = none). Requests served after their deadline get a
+    /// timeout response instead of logits.
+    pub deadline_s: f64,
+    /// Open-loop request rate *per platform* (requests per simulated
+    /// second).
+    pub offered_rps: f64,
+    /// Fixed server cost per batch (kernel launch / scheduling overhead).
+    pub batch_setup_s: f64,
+    /// Server cost per queued request in a batch.
+    pub per_item_s: f64,
+    /// Wire codec for activations and logits.
+    pub codec: WireCodec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait_s: 0.010,
+            queue_capacity: 64,
+            deadline_s: f64::INFINITY,
+            offered_rps: 100.0,
+            batch_setup_s: 0.002,
+            per_item_s: 0.001,
+            codec: WireCodec::F32,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 || self.queue_capacity == 0 {
+            return Err(SplitError::Config(
+                "max_batch and queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.offered_rps.is_nan() || self.offered_rps <= 0.0 {
+            return Err(SplitError::Config("offered_rps must be positive".into()));
+        }
+        if self.max_wait_s.is_nan() || self.max_wait_s < 0.0 {
+            return Err(SplitError::Config("max_wait_s must be non-negative".into()));
+        }
+        if self.deadline_s.is_nan() || self.deadline_s < 0.0 {
+            return Err(SplitError::Config("deadline_s must be non-negative".into()));
+        }
+        if self.batch_setup_s < 0.0 || self.per_item_s < 0.0 {
+            return Err(SplitError::Config("compute costs must be non-negative".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The client-side view of one finished request.
+#[derive(Debug, Clone)]
+pub struct ClientRecord {
+    /// Platform that submitted the request.
+    pub platform: usize,
+    /// Request id (unique across the run).
+    pub id: u64,
+    /// Simulated submission time.
+    pub submit_s: f64,
+    /// Terminal status.
+    pub status: InferStatus,
+    /// End-to-end simulated latency (submit → response received),
+    /// regardless of status: rejections and timeouts also take wire time.
+    pub latency_s: f64,
+    /// Logits, present iff the request completed.
+    pub logits: Option<Tensor>,
+}
+
+/// Everything a serving run produces.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Aggregate latency/throughput/byte accounting.
+    pub report: ServeReport,
+    /// Per-request records, ordered by platform then submission.
+    pub records: Vec<ClientRecord>,
+    /// Raw simulated-network statistics.
+    pub stats: StatsSnapshot,
+}
+
+/// A decoded request queued at the server.
+struct Pending {
+    platform: usize,
+    id: u64,
+    submit_s: f64,
+    activations: Tensor,
+}
+
+enum NodeOutput {
+    Client(Vec<ClientRecord>),
+    Server,
+}
+
+/// Runs a full serving session: every platform submits its queries
+/// open-loop at `cfg.offered_rps`, the server batches and answers, and
+/// the outcome aggregates every request's fate.
+///
+/// `queries[p]` are platform `p`'s inputs in submission order (each a
+/// feature batch for [`Platform::infer_l1`]); `platforms.len()` must
+/// equal `queries.len()` and match the transport's topology.
+///
+/// # Errors
+///
+/// Returns config errors for invalid parameters, protocol errors for
+/// malformed traffic, and net errors if a node times out.
+pub fn serve_threaded<T: Transport>(
+    mut platforms: Vec<Platform>,
+    mut server: SplitServer,
+    queries: Vec<Vec<Tensor>>,
+    topology: &StarTopology,
+    cfg: &ServeConfig,
+    transport: &T,
+) -> Result<ServeOutcome> {
+    cfg.validate()?;
+    if platforms.len() != queries.len() {
+        return Err(SplitError::Config(format!(
+            "{} platforms but {} query streams",
+            platforms.len(),
+            queries.len()
+        )));
+    }
+    let offered: usize = queries.iter().map(Vec::len).sum();
+    let client_count = platforms.len();
+
+    type NodeFn<'a, T> = Box<dyn FnOnce(NodeId, &T) -> Result<NodeOutput> + Send + 'a>;
+    let mut nodes: Vec<(NodeId, NodeFn<'_, T>)> = Vec::with_capacity(client_count + 1);
+    for (platform, qs) in platforms.drain(..).zip(queries) {
+        let node = platform.node();
+        let f: NodeFn<'_, T> = Box::new(move |node, t: &T| {
+            client_loop(platform, qs, topology, cfg, node, t).map(NodeOutput::Client)
+        });
+        nodes.push((node, f));
+    }
+    let server_cfg = cfg.clone();
+    nodes.push((
+        NodeId::Server,
+        Box::new(move |_, t: &T| {
+            server_loop(&mut server, topology, &server_cfg, client_count, t)?;
+            Ok(NodeOutput::Server)
+        }),
+    ));
+
+    let results = run_per_node(transport, nodes);
+    let mut records = Vec::with_capacity(offered);
+    for (node, result) in results {
+        match result? {
+            NodeOutput::Client(mut r) => {
+                r.sort_by_key(|rec| rec.id);
+                records.extend(r);
+            }
+            NodeOutput::Server => debug_assert_eq!(node, NodeId::Server),
+        }
+    }
+
+    let stats = transport.stats().snapshot();
+    let mut report = ServeReport {
+        offered,
+        completed: 0,
+        rejected: 0,
+        timed_out: 0,
+        latency: None,
+        request_bytes: stats.bytes_of(MessageKind::InferRequest),
+        response_bytes: stats.bytes_of(MessageKind::InferResponse),
+        makespan_s: stats.makespan_s,
+    };
+    let mut latencies = Vec::new();
+    for rec in &records {
+        report.tally(rec.status);
+        if rec.status == InferStatus::Ok {
+            latencies.push(rec.latency_s);
+        }
+    }
+    report.latency = LatencySummary::from_samples(&latencies);
+    Ok(ServeOutcome {
+        report,
+        records,
+        stats,
+    })
+}
+
+/// Globally unique request id: platform index in the high bits.
+fn request_id(platform: usize, seq: usize) -> u64 {
+    ((platform as u64) << 32) | seq as u64
+}
+
+fn client_loop<T: Transport>(
+    mut platform: Platform,
+    queries: Vec<Tensor>,
+    topology: &StarTopology,
+    cfg: &ServeConfig,
+    node: NodeId,
+    transport: &T,
+) -> Result<Vec<ClientRecord>> {
+    let pid = platform.id();
+    let downlink = topology.link(NodeId::Server, node);
+    let stats = transport.stats();
+    let expected = queries.len();
+
+    for (seq, query) in queries.into_iter().enumerate() {
+        // Open-loop arrivals: request `seq` is submitted at a fixed rate
+        // regardless of how earlier requests fared.
+        let submit_s = seq as f64 / cfg.offered_rps;
+        let now = stats.clock(node);
+        if submit_s > now {
+            stats.advance_clock(node, submit_s - now);
+        }
+        let acts = platform.infer_l1(&query)?;
+        let env = encode_request(
+            node,
+            request_id(pid, seq),
+            submit_s,
+            submit_s + cfg.deadline_s,
+            &acts,
+            cfg.codec,
+        );
+        transport.send(env).map_err(SplitError::from)?;
+    }
+    // Tell the server this client is done submitting.
+    transport
+        .send(Envelope::control(node, NodeId::Server, expected as u64))
+        .map_err(SplitError::from)?;
+
+    let mut records = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        let env = transport
+            .recv_timeout(node, RECV_TIMEOUT)
+            .map_err(SplitError::from)?;
+        let resp = decode_response(&env)?;
+        // End-to-end latency under the simulated clock: the response left
+        // the server at `served_s` and takes the downlink transfer time.
+        let received_s = resp.served_s + downlink.map_or(0.0, |l| l.transfer_time(env.wire_size()));
+        records.push(ClientRecord {
+            platform: pid,
+            id: resp.id,
+            submit_s: resp.submit_s,
+            status: resp.status,
+            latency_s: received_s - resp.submit_s,
+            logits: resp.logits,
+        });
+    }
+    Ok(records)
+}
+
+/// A request waiting to enter the discrete-event replay, keyed by its
+/// simulated arrival time.
+struct Arrival {
+    arrival_s: f64,
+    deadline_s: f64,
+    pending: Pending,
+}
+
+fn server_loop<T: Transport>(
+    server: &mut SplitServer,
+    topology: &StarTopology,
+    cfg: &ServeConfig,
+    client_count: usize,
+    transport: &T,
+) -> Result<()> {
+    // Phase 1 — collect. Wall-clock receive order mixes the clients'
+    // streams arbitrarily (each client thread enqueues its whole stream
+    // as fast as it can), so simulated arrival times arrive out of order
+    // across clients. The busy clock below must only ever move forward,
+    // which makes processing order part of the result — so we gather
+    // everything first and replay it as a discrete-event simulation.
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let mut done = 0usize;
+    while done < client_count {
+        let env = transport
+            .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+            .map_err(SplitError::from)?;
+        match env.kind {
+            MessageKind::Control => done += 1,
+            MessageKind::InferRequest => {
+                let req = decode_request(&env)?;
+                let platform = env
+                    .src
+                    .platform_index()
+                    .ok_or_else(|| SplitError::Protocol("infer_request from server".into()))?;
+                let uplink = topology.link(env.src, NodeId::Server);
+                let arrival_s = req.submit_s + uplink.map_or(0.0, |l| l.transfer_time(env.wire_size()));
+                arrivals.push(Arrival {
+                    arrival_s,
+                    deadline_s: req.deadline_s,
+                    pending: Pending {
+                        platform,
+                        id: req.id,
+                        submit_s: req.submit_s,
+                        activations: req.activations,
+                    },
+                });
+            }
+            other => {
+                return Err(SplitError::Protocol(format!(
+                    "unexpected {other} message on the serving path"
+                )));
+            }
+        }
+    }
+    // Deterministic event order: by arrival, ties broken by request id.
+    arrivals.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .expect("arrival times are not NaN")
+            .then(a.pending.id.cmp(&b.pending.id))
+    });
+
+    // Phase 2 — replay. A single-executor busy clock: the server is free
+    // to start the next batch at `sim_now`.
+    let mut batcher: DynamicBatcher<Pending> =
+        DynamicBatcher::new(cfg.max_batch, cfg.max_wait_s, cfg.queue_capacity);
+    let mut sim_now = 0.0f64;
+    for event in arrivals {
+        // Any batch whose age timer expired before this arrival was
+        // flushed while the server was (logically) idle.
+        while let Some(ready) = batcher.ready_at() {
+            if ready > event.arrival_s {
+                break;
+            }
+            let flush_t = sim_now.max(ready);
+            sim_now = serve_batch(server, batcher.take_batch(), flush_t, cfg, transport)?;
+        }
+        if event.arrival_s > sim_now {
+            sim_now = event.arrival_s;
+        }
+        let platform = event.pending.platform;
+        let id = event.pending.id;
+        let submit_s = event.pending.submit_s;
+        match batcher.offer(event.pending, event.arrival_s, event.deadline_s) {
+            Admission::Admitted => {
+                if batcher.len() >= batcher.max_batch() {
+                    sim_now = serve_batch(server, batcher.take_batch(), sim_now, cfg, transport)?;
+                }
+            }
+            Admission::Rejected => {
+                // Backpressure is explicit: the client gets an answer
+                // rather than a silent drop.
+                sync_server_clock(transport, sim_now);
+                let resp = encode_response(
+                    NodeId::Platform(platform),
+                    id,
+                    submit_s,
+                    sim_now,
+                    InferStatus::Rejected,
+                    None,
+                    cfg.codec,
+                );
+                transport.send(resp).map_err(SplitError::from)?;
+            }
+        }
+    }
+    // Phase 3 — drain what is still queued, honouring the age timer when
+    // it is finite.
+    while !batcher.is_empty() {
+        let ready = batcher.ready_at().expect("non-empty queue");
+        let flush_t = if ready.is_finite() {
+            sim_now.max(ready)
+        } else {
+            sim_now
+        };
+        sim_now = serve_batch(server, batcher.take_batch(), flush_t, cfg, transport)?;
+    }
+    Ok(())
+}
+
+/// Serves one batch starting at `flush_t` and returns the time the server
+/// is free again. Every entry gets exactly one response: logits, or a
+/// timeout if its deadline expired before the batch finished.
+fn serve_batch<T: Transport>(
+    server: &mut SplitServer,
+    entries: Vec<BatchEntry<Pending>>,
+    flush_t: f64,
+    cfg: &ServeConfig,
+    transport: &T,
+) -> Result<f64> {
+    if entries.is_empty() {
+        return Ok(flush_t);
+    }
+    let serve_done = flush_t + cfg.batch_setup_s + cfg.per_item_s * entries.len() as f64;
+    sync_server_clock(transport, serve_done);
+
+    let (live, expired): (Vec<_>, Vec<_>) = entries.into_iter().partition(|e| e.deadline_s >= serve_done);
+    for entry in expired {
+        let p = entry.item;
+        let resp = encode_response(
+            NodeId::Platform(p.platform),
+            p.id,
+            p.submit_s,
+            serve_done,
+            InferStatus::TimedOut,
+            None,
+            cfg.codec,
+        );
+        transport.send(resp).map_err(SplitError::from)?;
+    }
+    if live.is_empty() {
+        return Ok(serve_done);
+    }
+
+    // One forward pass over the concatenated batch, then per-request
+    // slices — the same aggregate pattern as training.
+    let tensors: Vec<Tensor> = live.iter().map(|e| e.item.activations.clone()).collect();
+    let rows: Vec<usize> = tensors.iter().map(|t| t.dims()[0]).collect();
+    let batch = Tensor::concat0(&tensors)?;
+    let logits = server.infer(&batch)?;
+    let mut offset = 0;
+    for (entry, n) in live.into_iter().zip(rows) {
+        let slice = logits.slice0(offset, n)?;
+        offset += n;
+        let p = entry.item;
+        let resp = encode_response(
+            NodeId::Platform(p.platform),
+            p.id,
+            p.submit_s,
+            serve_done,
+            InferStatus::Ok,
+            Some(&slice),
+            cfg.codec,
+        );
+        transport.send(resp).map_err(SplitError::from)?;
+    }
+    Ok(serve_done)
+}
+
+/// Brings the server's network clock up to `t` so transport-level arrival
+/// times and the makespan agree with the serving busy clock.
+fn sync_server_clock<T: Transport>(transport: &T, t: f64) {
+    let stats = transport.stats();
+    let now = stats.clock(NodeId::Server);
+    if t > now {
+        stats.advance_clock(NodeId::Server, t - now);
+    }
+}

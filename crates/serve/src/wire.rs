@@ -1,0 +1,327 @@
+//! Payload formats for the serving path.
+//!
+//! A request carries the client's `L1` activations plus the metadata the
+//! server needs for batching and deadline handling; a response carries the
+//! logits (or an empty body for rejections/timeouts) plus the timestamps
+//! the client needs to compute end-to-end latency under the simulated
+//! clock. All timestamps are absolute simulated seconds, serialised as
+//! `f64` bit patterns so `INFINITY` ("no deadline") survives the trip.
+
+use bytes::{BufMut, Bytes};
+use medsplit_core::{Result, SplitError, WireCodec};
+use medsplit_simnet::{Envelope, MessageKind, NodeId};
+use medsplit_tensor::Tensor;
+
+/// Fixed request prefix: id, submit time, deadline.
+const REQUEST_PREFIX: usize = 8 + 8 + 8;
+/// Fixed response prefix: id, submit time, served time, status byte.
+const RESPONSE_PREFIX: usize = 8 + 8 + 8 + 1;
+
+/// Terminal status of one inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InferStatus {
+    /// Served: the response carries logits.
+    Ok,
+    /// Refused admission (queue full); the request was never batched.
+    Rejected,
+    /// Admitted but its deadline expired before the batch was served.
+    TimedOut,
+}
+
+impl InferStatus {
+    fn code(self) -> u8 {
+        match self {
+            InferStatus::Ok => 0,
+            InferStatus::Rejected => 1,
+            InferStatus::TimedOut => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(InferStatus::Ok),
+            1 => Some(InferStatus::Rejected),
+            2 => Some(InferStatus::TimedOut),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InferStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InferStatus::Ok => "ok",
+            InferStatus::Rejected => "rejected",
+            InferStatus::TimedOut => "timed_out",
+        })
+    }
+}
+
+/// A decoded inference request.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// Client-assigned request id (unique per platform).
+    pub id: u64,
+    /// Simulated time the client submitted the request.
+    pub submit_s: f64,
+    /// Absolute deadline in simulated seconds (`INFINITY` = none).
+    pub deadline_s: f64,
+    /// The client's `L1` activations (possibly noised).
+    pub activations: Tensor,
+}
+
+/// A decoded inference response.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Echoed submission time.
+    pub submit_s: f64,
+    /// Simulated time the server finished handling the request.
+    pub served_s: f64,
+    /// Terminal status.
+    pub status: InferStatus,
+    /// Logits, present iff `status == Ok`.
+    pub logits: Option<Tensor>,
+}
+
+/// Encodes an inference request envelope (platform → server).
+pub fn encode_request(
+    platform: NodeId,
+    id: u64,
+    submit_s: f64,
+    deadline_s: f64,
+    activations: &Tensor,
+    codec: WireCodec,
+) -> Envelope {
+    let tensor_bytes = match codec {
+        WireCodec::F32 => activations.to_bytes(),
+        WireCodec::F16 => activations.to_bytes_f16(),
+    };
+    let mut payload = Vec::with_capacity(REQUEST_PREFIX + tensor_bytes.len());
+    payload.put_u64_le(id);
+    payload.put_u64_le(submit_s.to_bits());
+    payload.put_u64_le(deadline_s.to_bits());
+    payload.put_slice(&tensor_bytes);
+    Envelope::new(
+        platform,
+        NodeId::Server,
+        id,
+        MessageKind::InferRequest,
+        Bytes::from(payload),
+    )
+}
+
+/// Decodes an inference request payload.
+///
+/// # Errors
+///
+/// Returns [`SplitError::Protocol`] for a wrong message kind or truncated
+/// prefix, and [`SplitError::Tensor`] for a corrupt tensor body.
+pub fn decode_request(env: &Envelope) -> Result<InferRequest> {
+    if env.kind != MessageKind::InferRequest {
+        return Err(SplitError::Protocol(format!(
+            "expected infer_request from {}, got {}",
+            env.src, env.kind
+        )));
+    }
+    let p = &env.payload;
+    if p.len() < REQUEST_PREFIX {
+        return Err(SplitError::Protocol(format!(
+            "truncated infer_request payload ({} bytes)",
+            p.len()
+        )));
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"));
+    Ok(InferRequest {
+        id: read_u64(0),
+        submit_s: f64::from_bits(read_u64(8)),
+        deadline_s: f64::from_bits(read_u64(16)),
+        activations: Tensor::from_bytes(env.payload.slice(REQUEST_PREFIX..))?,
+    })
+}
+
+/// Encodes an inference response envelope (server → platform). `logits`
+/// must be `Some` iff `status` is [`InferStatus::Ok`].
+pub fn encode_response(
+    platform: NodeId,
+    id: u64,
+    submit_s: f64,
+    served_s: f64,
+    status: InferStatus,
+    logits: Option<&Tensor>,
+    codec: WireCodec,
+) -> Envelope {
+    debug_assert_eq!(logits.is_some(), status == InferStatus::Ok);
+    let tensor_bytes = logits.map(|t| match codec {
+        WireCodec::F32 => t.to_bytes(),
+        WireCodec::F16 => t.to_bytes_f16(),
+    });
+    let body_len = tensor_bytes.as_ref().map_or(0, Bytes::len);
+    let mut payload = Vec::with_capacity(RESPONSE_PREFIX + body_len);
+    payload.put_u64_le(id);
+    payload.put_u64_le(submit_s.to_bits());
+    payload.put_u64_le(served_s.to_bits());
+    payload.put_u8(status.code());
+    if let Some(bytes) = &tensor_bytes {
+        payload.put_slice(bytes);
+    }
+    Envelope::new(
+        NodeId::Server,
+        platform,
+        id,
+        MessageKind::InferResponse,
+        Bytes::from(payload),
+    )
+}
+
+/// Decodes an inference response payload.
+///
+/// # Errors
+///
+/// Returns [`SplitError::Protocol`] for a wrong kind, truncated prefix, or
+/// unknown status code, and [`SplitError::Tensor`] for a corrupt body.
+pub fn decode_response(env: &Envelope) -> Result<InferResponse> {
+    if env.kind != MessageKind::InferResponse {
+        return Err(SplitError::Protocol(format!(
+            "expected infer_response from {}, got {}",
+            env.src, env.kind
+        )));
+    }
+    let p = &env.payload;
+    if p.len() < RESPONSE_PREFIX {
+        return Err(SplitError::Protocol(format!(
+            "truncated infer_response payload ({} bytes)",
+            p.len()
+        )));
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"));
+    let status = InferStatus::from_code(p[24])
+        .ok_or_else(|| SplitError::Protocol(format!("unknown infer status code {}", p[24])))?;
+    let logits = if status == InferStatus::Ok {
+        Some(Tensor::from_bytes(env.payload.slice(RESPONSE_PREFIX..))?)
+    } else {
+        None
+    };
+    Ok(InferResponse {
+        id: read_u64(0),
+        submit_s: f64::from_bits(read_u64(8)),
+        served_s: f64::from_bits(read_u64(16)),
+        status,
+        logits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let acts = Tensor::from_vec(vec![1.0, -2.5, 0.25, 8.0], [1, 4]).unwrap();
+        let env = encode_request(NodeId::Platform(2), 7, 1.25, 3.5, &acts, WireCodec::F32);
+        assert_eq!(env.kind, MessageKind::InferRequest);
+        assert_eq!(env.src, NodeId::Platform(2));
+        let req = decode_request(&env).unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.submit_s, 1.25);
+        assert_eq!(req.deadline_s, 3.5);
+        assert_eq!(req.activations, acts);
+    }
+
+    #[test]
+    fn infinite_deadline_survives() {
+        let acts = Tensor::ones([1, 2]);
+        let env = encode_request(NodeId::Platform(0), 0, 0.0, f64::INFINITY, &acts, WireCodec::F32);
+        assert_eq!(decode_request(&env).unwrap().deadline_s, f64::INFINITY);
+    }
+
+    #[test]
+    fn f16_request_halves_tensor_bytes() {
+        let acts = Tensor::ones([4, 8]);
+        let full = encode_request(NodeId::Platform(0), 0, 0.0, 1.0, &acts, WireCodec::F32);
+        let half = encode_request(NodeId::Platform(0), 0, 0.0, 1.0, &acts, WireCodec::F16);
+        assert!(half.payload.len() < full.payload.len());
+        // Values of 1.0 are exactly representable in f16.
+        assert_eq!(decode_request(&half).unwrap().activations, acts);
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let logits = Tensor::from_vec(vec![0.5, -1.5, 2.0], [1, 3]).unwrap();
+        let env = encode_response(
+            NodeId::Platform(1),
+            9,
+            0.5,
+            0.75,
+            InferStatus::Ok,
+            Some(&logits),
+            WireCodec::F32,
+        );
+        assert_eq!(env.dst, NodeId::Platform(1));
+        let resp = decode_response(&env).unwrap();
+        assert_eq!(resp.id, 9);
+        assert_eq!(resp.submit_s, 0.5);
+        assert_eq!(resp.served_s, 0.75);
+        assert_eq!(resp.status, InferStatus::Ok);
+        assert_eq!(resp.logits.unwrap(), logits);
+    }
+
+    #[test]
+    fn rejection_response_has_no_body() {
+        let env = encode_response(
+            NodeId::Platform(0),
+            3,
+            1.0,
+            1.0,
+            InferStatus::Rejected,
+            None,
+            WireCodec::F32,
+        );
+        assert_eq!(env.payload.len(), RESPONSE_PREFIX);
+        let resp = decode_response(&env).unwrap();
+        assert_eq!(resp.status, InferStatus::Rejected);
+        assert!(resp.logits.is_none());
+        let timed = encode_response(
+            NodeId::Platform(0),
+            4,
+            1.0,
+            2.0,
+            InferStatus::TimedOut,
+            None,
+            WireCodec::F16,
+        );
+        assert_eq!(decode_response(&timed).unwrap().status, InferStatus::TimedOut);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        let acts = Tensor::ones([1, 2]);
+        let env = encode_request(NodeId::Platform(0), 0, 0.0, 1.0, &acts, WireCodec::F32);
+        // Wrong kind for the decoder.
+        assert!(decode_response(&env).is_err());
+        // Truncated prefix.
+        let short = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            0,
+            MessageKind::InferRequest,
+            env.payload.slice(..10),
+        );
+        assert!(decode_request(&short).is_err());
+        // Unknown status code.
+        let mut bad = encode_response(
+            NodeId::Platform(0),
+            1,
+            0.0,
+            0.0,
+            InferStatus::Rejected,
+            None,
+            WireCodec::F32,
+        );
+        let mut raw = bad.payload.to_vec();
+        raw[24] = 99;
+        bad.payload = Bytes::from(raw);
+        assert!(decode_response(&bad).is_err());
+    }
+}

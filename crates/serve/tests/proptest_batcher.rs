@@ -1,0 +1,151 @@
+//! Property tests for the dynamic batcher: driven the way the serving
+//! runtime drives it (flush age-due batches before each arrival, flush on
+//! size after each admit, drain at shutdown), every admitted request must
+//! land in exactly one batch, no batch may exceed `max_batch`, no entry
+//! may wait past `max_wait` while traffic keeps arriving, and rejected
+//! requests must be reported — never silently dropped.
+
+use medsplit_serve::{Admission, BatchEntry, DynamicBatcher};
+use proptest::prelude::*;
+
+/// Replays a gap sequence through the runtime's flush discipline.
+/// Returns `(admitted, rejected, flushes)` where each flush records its
+/// time and the taken entries.
+#[allow(clippy::type_complexity)]
+fn drive(
+    max_batch: usize,
+    max_wait_s: f64,
+    capacity: usize,
+    gaps: &[f64],
+) -> (Vec<u64>, Vec<u64>, Vec<(f64, Vec<BatchEntry<u64>>)>) {
+    let mut b: DynamicBatcher<u64> = DynamicBatcher::new(max_batch, max_wait_s, capacity);
+    let mut now = 0.0f64;
+    let mut admitted = Vec::new();
+    let mut rejected = Vec::new();
+    let mut flushes = Vec::new();
+    for (i, gap) in gaps.iter().enumerate() {
+        now += gap;
+        // Age rule: batches whose timer expired before this arrival are
+        // flushed at their due time.
+        while let Some(ready) = b.ready_at() {
+            if ready > now {
+                break;
+            }
+            let batch = b.take_due(ready).expect("due at its own ready time");
+            flushes.push((ready, batch));
+        }
+        match b.offer(i as u64, now, f64::INFINITY) {
+            Admission::Admitted => {
+                admitted.push(i as u64);
+                // Size rule: a full batch goes out immediately.
+                if b.len() >= max_batch {
+                    flushes.push((now, b.take_batch()));
+                }
+            }
+            Admission::Rejected => rejected.push(i as u64),
+        }
+    }
+    // Shutdown drain: whatever is still pending goes out, age timer
+    // honoured when finite.
+    while !b.is_empty() {
+        let ready = b.ready_at().expect("non-empty");
+        let t = if ready.is_finite() { ready.max(now) } else { now };
+        flushes.push((t, b.take_batch()));
+    }
+    (admitted, rejected, flushes)
+}
+
+proptest! {
+    #[test]
+    fn every_admitted_request_batched_exactly_once(
+        max_batch in 1usize..6,
+        max_wait_steps in 0u32..40,
+        capacity in 1usize..10,
+        gaps in prop::collection::vec(0.0f64..0.2, 1..80),
+    ) {
+        let max_wait_s = max_wait_steps as f64 * 0.01;
+        let offered = gaps.len() as u64;
+        let (admitted, rejected, flushes) = drive(max_batch, max_wait_s, capacity, &gaps);
+
+        // Conservation: every request is either admitted or rejected.
+        prop_assert_eq!(admitted.len() + rejected.len(), offered as usize);
+
+        // Every admitted id appears in exactly one flushed batch...
+        let mut batched: Vec<u64> = flushes
+            .iter()
+            .flat_map(|(_, batch)| batch.iter().map(|e| e.item))
+            .collect();
+        batched.sort_unstable();
+        let mut expected = admitted.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(&batched, &expected);
+
+        // ...and rejected ids never do (no silent drops, no ghost serves).
+        for id in &rejected {
+            prop_assert!(!batched.contains(id), "rejected id {} was batched", id);
+        }
+        for id in 0..offered {
+            prop_assert!(
+                admitted.contains(&id) || rejected.contains(&id),
+                "request {} vanished without an admission verdict",
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn batches_respect_size_and_wait_bounds(
+        max_batch in 1usize..6,
+        max_wait_steps in 0u32..40,
+        capacity in 1usize..10,
+        gaps in prop::collection::vec(0.0f64..0.2, 2..80),
+    ) {
+        let max_wait_s = max_wait_steps as f64 * 0.01;
+        let last_arrival: f64 = gaps.iter().sum();
+        let (_, _, flushes) = drive(max_batch, max_wait_s, capacity, &gaps);
+
+        for (flush_t, batch) in &flushes {
+            prop_assert!(!batch.is_empty(), "empty flush");
+            prop_assert!(batch.len() <= max_batch, "batch of {} > max {}", batch.len(), max_batch);
+            for entry in batch {
+                let wait = flush_t - entry.enqueued_s;
+                prop_assert!(wait >= -1e-9, "flushed before enqueue");
+                // While traffic still arrives, the age rule bounds every
+                // wait by max_wait. Only entries drained at shutdown
+                // (flushed at/after the last arrival) may exceed it,
+                // because no event fires their timer.
+                if *flush_t < last_arrival - 1e-9 {
+                    prop_assert!(
+                        wait <= max_wait_s + 1e-9,
+                        "entry waited {} > max_wait {}",
+                        wait,
+                        max_wait_s
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pending_never_exceeds_capacity(
+        max_batch in 1usize..6,
+        capacity in 1usize..10,
+        gaps in prop::collection::vec(0.0f64..0.05, 1..60),
+    ) {
+        // Infinite wait + tiny gaps: worst case for queue growth.
+        let mut b: DynamicBatcher<u64> = DynamicBatcher::new(max_batch, f64::INFINITY, capacity);
+        let mut now = 0.0;
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            let verdict = b.offer(i as u64, now, f64::INFINITY);
+            prop_assert!(b.len() <= capacity, "queue grew past capacity");
+            if b.len() == capacity {
+                // The next offer must be rejected until something drains.
+                prop_assert_eq!(b.offer(u64::MAX, now, f64::INFINITY), Admission::Rejected);
+            }
+            if verdict == Admission::Admitted && b.len() >= max_batch {
+                let _ = b.take_batch();
+            }
+        }
+    }
+}

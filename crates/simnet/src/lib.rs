@@ -39,7 +39,7 @@ mod transport;
 
 pub use fault::{FaultKind, FaultyTransport};
 pub use link::LinkSpec;
-pub use message::{Envelope, MessageKind, HEADER_BYTES};
+pub use message::{Envelope, FrameError, MessageKind, HEADER_BYTES};
 pub use node::NodeId;
 pub use stats::{NetStats, StatsSnapshot};
 pub use topology::StarTopology;

@@ -42,6 +42,14 @@ pub enum MessageKind {
     /// Raw patient data, platform → server — only the privacy-violating
     /// centralised baseline ever sends this.
     RawData,
+    /// Serving-path request: `L1` activations for a single inference
+    /// request (possibly noised), platform → server. Distinct from
+    /// [`MessageKind::Activations`] so training and serving traffic are
+    /// accounted separately.
+    InferRequest,
+    /// Serving-path response: logits for one inference request (or an
+    /// empty payload for a rejection/timeout), server → platform.
+    InferResponse,
     /// Control traffic (round begin/end, shutdown).
     Control,
 }
@@ -61,8 +69,37 @@ impl MessageKind {
             MessageKind::GradPush => "grad_push",
             MessageKind::L1Sync => "l1_sync",
             MessageKind::RawData => "raw_data",
+            MessageKind::InferRequest => "infer_request",
+            MessageKind::InferResponse => "infer_response",
             MessageKind::Control => "control",
         }
+    }
+
+    /// Stable single-byte code used by [`Envelope::encode`]. Codes are
+    /// append-only: new kinds take the next free value so old captures
+    /// stay decodable.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            MessageKind::Activations => 0,
+            MessageKind::Logits => 1,
+            MessageKind::LogitGrads => 2,
+            MessageKind::CutGrads => 3,
+            MessageKind::Features => 4,
+            MessageKind::FeatureGrads => 5,
+            MessageKind::ModelDown => 6,
+            MessageKind::ModelUp => 7,
+            MessageKind::GradPush => 8,
+            MessageKind::L1Sync => 9,
+            MessageKind::RawData => 10,
+            MessageKind::Control => 11,
+            MessageKind::InferRequest => 12,
+            MessageKind::InferResponse => 13,
+        }
+    }
+
+    /// Inverse of [`MessageKind::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<MessageKind> {
+        MessageKind::all().iter().copied().find(|k| k.wire_code() == code)
     }
 
     /// All kinds, for report iteration.
@@ -79,6 +116,8 @@ impl MessageKind {
             MessageKind::GradPush,
             MessageKind::L1Sync,
             MessageKind::RawData,
+            MessageKind::InferRequest,
+            MessageKind::InferResponse,
             MessageKind::Control,
         ]
     }
@@ -134,7 +173,92 @@ impl Envelope {
     pub fn wire_size(&self) -> usize {
         self.payload.len() + HEADER_BYTES
     }
+
+    /// Serialises the envelope to a canonical byte frame:
+    /// `kind u8 · src u64 · dst u64 · round u64 · len u64 · payload`,
+    /// all little-endian. The server is encoded as `u64::MAX`, platform
+    /// `i` as `i`.
+    ///
+    /// The frame is what a real socket transport would write; the
+    /// *accounted* framing overhead stays the flat [`HEADER_BYTES`]
+    /// approximation regardless of the actual frame length.
+    pub fn encode(&self) -> Bytes {
+        fn node_code(n: NodeId) -> u64 {
+            match n {
+                NodeId::Server => u64::MAX,
+                NodeId::Platform(i) => i as u64,
+            }
+        }
+        let mut out = Vec::with_capacity(33 + self.payload.len());
+        out.push(self.kind.wire_code());
+        out.extend_from_slice(&node_code(self.src).to_le_bytes());
+        out.extend_from_slice(&node_code(self.dst).to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        Bytes::from(out)
+    }
+
+    /// Decodes a frame produced by [`Envelope::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] for truncated frames or unknown kind codes.
+    pub fn decode(frame: &[u8]) -> Result<Envelope, FrameError> {
+        fn take_u64(frame: &[u8], at: usize) -> Result<u64, FrameError> {
+            let bytes = frame
+                .get(at..at + 8)
+                .ok_or(FrameError::Truncated { len: frame.len() })?;
+            Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+        }
+        fn node_from(code: u64) -> NodeId {
+            if code == u64::MAX {
+                NodeId::Server
+            } else {
+                NodeId::Platform(code as usize)
+            }
+        }
+        let kind_code = *frame.first().ok_or(FrameError::Truncated { len: 0 })?;
+        let kind = MessageKind::from_wire_code(kind_code).ok_or(FrameError::UnknownKind(kind_code))?;
+        let src = node_from(take_u64(frame, 1)?);
+        let dst = node_from(take_u64(frame, 9)?);
+        let round = take_u64(frame, 17)?;
+        let len = take_u64(frame, 25)? as usize;
+        let payload = frame
+            .get(33..33 + len)
+            .ok_or(FrameError::Truncated { len: frame.len() })?;
+        Ok(Envelope {
+            src,
+            dst,
+            round,
+            kind,
+            payload: Bytes::copy_from_slice(payload),
+        })
+    }
 }
+
+/// Errors from [`Envelope::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame ended before the declared payload length.
+    Truncated {
+        /// Actual frame length in bytes.
+        len: usize,
+    },
+    /// The kind byte does not name a [`MessageKind`].
+    UnknownKind(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { len } => write!(f, "truncated envelope frame ({len} bytes)"),
+            FrameError::UnknownKind(code) => write!(f, "unknown message kind code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 #[cfg(test)]
 mod tests {
@@ -169,5 +293,69 @@ mod tests {
     fn display_matches_as_str() {
         assert_eq!(MessageKind::Activations.to_string(), "activations");
         assert_eq!(MessageKind::CutGrads.to_string(), "cut_grads");
+    }
+
+    #[test]
+    fn wire_codes_unique_and_invertible() {
+        let mut codes: Vec<u8> = MessageKind::all().iter().map(|k| k.wire_code()).collect();
+        let before = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), before);
+        for kind in MessageKind::all() {
+            assert_eq!(MessageKind::from_wire_code(kind.wire_code()), Some(*kind));
+        }
+        assert_eq!(MessageKind::from_wire_code(200), None);
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_encode() {
+        for (i, kind) in MessageKind::all().iter().enumerate() {
+            let env = Envelope::new(
+                NodeId::Platform(i),
+                NodeId::Server,
+                i as u64 * 7,
+                *kind,
+                Bytes::from(vec![i as u8; i * 13]),
+            );
+            let decoded = Envelope::decode(&env.encode()).unwrap();
+            assert_eq!(decoded.src, env.src);
+            assert_eq!(decoded.dst, env.dst);
+            assert_eq!(decoded.round, env.round);
+            assert_eq!(decoded.kind, env.kind);
+            assert_eq!(decoded.payload, env.payload);
+            assert_eq!(decoded.wire_size(), env.wire_size());
+        }
+        // Server as source survives the u64::MAX encoding.
+        let env = Envelope::control(NodeId::Server, NodeId::Platform(3), 9);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded.src, NodeId::Server);
+        assert_eq!(decoded.dst, NodeId::Platform(3));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let env = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            1,
+            MessageKind::InferRequest,
+            Bytes::from(vec![1, 2, 3]),
+        );
+        let frame = env.encode();
+        assert!(matches!(
+            Envelope::decode(&[]),
+            Err(FrameError::Truncated { len: 0 })
+        ));
+        assert!(matches!(
+            Envelope::decode(&frame[..frame.len() - 1]),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut bad_kind = frame.to_vec();
+        bad_kind[0] = 250;
+        assert!(matches!(
+            Envelope::decode(&bad_kind),
+            Err(FrameError::UnknownKind(250))
+        ));
     }
 }

@@ -156,6 +156,43 @@ mod tests {
     }
 
     #[test]
+    fn inference_kinds_accounted_exactly() {
+        // Serving traffic must be charged HEADER_BYTES + payload, exactly,
+        // and kept separate from training Activations/Logits.
+        use crate::message::HEADER_BYTES;
+        let stats = NetStats::new();
+        let req = env(
+            NodeId::Platform(2),
+            NodeId::Server,
+            MessageKind::InferRequest,
+            777,
+        );
+        let resp = env(
+            NodeId::Server,
+            NodeId::Platform(2),
+            MessageKind::InferResponse,
+            40,
+        );
+        stats.on_send(&req, None);
+        stats.on_send(&resp, None);
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.bytes_of(MessageKind::InferRequest),
+            (777 + HEADER_BYTES) as u64
+        );
+        assert_eq!(
+            snap.bytes_of(MessageKind::InferResponse),
+            (40 + HEADER_BYTES) as u64
+        );
+        assert_eq!(snap.bytes_of(MessageKind::Activations), 0);
+        assert_eq!(snap.bytes_of(MessageKind::Logits), 0);
+        assert_eq!(snap.uplink_bytes, (777 + HEADER_BYTES) as u64);
+        assert_eq!(snap.downlink_bytes, (40 + HEADER_BYTES) as u64);
+        assert_eq!(snap.total_bytes, (777 + 40 + 2 * HEADER_BYTES) as u64);
+        assert_eq!(snap.messages, 2);
+    }
+
+    #[test]
     fn clock_model_is_causal() {
         let stats = NetStats::new();
         let link = LinkSpec {

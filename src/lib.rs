@@ -19,7 +19,9 @@
 //! - [`baselines`] — FedAvg, large-scale sync SGD, local-only and
 //!   centralised training ([`medsplit_baselines`]),
 //! - [`privacy`] — leakage metrics and reconstruction attacks
-//!   ([`medsplit_privacy`]).
+//!   ([`medsplit_privacy`]),
+//! - [`serve`] — split-inference serving with dynamic batching, admission
+//!   control and latency accounting ([`medsplit_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -54,5 +56,6 @@ pub use medsplit_core as core;
 pub use medsplit_data as data;
 pub use medsplit_nn as nn;
 pub use medsplit_privacy as privacy;
+pub use medsplit_serve as serve;
 pub use medsplit_simnet as simnet;
 pub use medsplit_tensor as tensor;

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread`] (scoped threads) is provided — the one `crossbeam`
+//! module this workspace uses — implemented on top of
+//! `std::thread::scope`, which has equivalent semantics since Rust 1.63.
+
+/// Scoped threads: spawn borrowing threads that are guaranteed to be
+/// joined before the scope returns.
+pub mod thread {
+    use std::any::Any;
+    use std::io;
+    use std::marker::PhantomData;
+
+    /// Error payload of a panicked thread.
+    pub type ThreadPanic = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to the closure of [`scope`] and to every
+    /// spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to join a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, ThreadPanic> {
+            self.inner.join()
+        }
+
+        /// The spawned thread's handle.
+        pub fn thread(&self) -> &std::thread::Thread {
+            self.inner.thread()
+        }
+    }
+
+    /// Configures a thread before spawning it in a scope (name only; the
+    /// stack-size knob of the real crate is not needed here).
+    pub struct ScopedThreadBuilder<'s, 'scope, 'env> {
+        scope: &'s Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'s, 'scope, 'env> ScopedThreadBuilder<'s, 'scope, 'env> {
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Spawns the configured thread. The closure receives the scope,
+        /// so it can spawn further threads.
+        ///
+        /// # Errors
+        ///
+        /// Returns an I/O error if the OS fails to create the thread.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self.scope;
+            let inner = self.builder.spawn_scoped(scope.inner, move || f(&scope))?;
+            Ok(ScopedJoinHandle { inner })
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread in the scope.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the OS fails to create the thread.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.builder().spawn(f).expect("failed to spawn scoped thread")
+        }
+
+        /// Starts configuring a thread to spawn in the scope.
+        pub fn builder(&self) -> ScopedThreadBuilder<'_, 'scope, 'env> {
+            ScopedThreadBuilder {
+                scope: self,
+                builder: std::thread::Builder::new(),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// Unlike the real crate, a panic in an *unjoined* thread propagates
+    /// as a panic out of `scope` rather than as an `Err`; every caller in
+    /// this workspace joins all its handles, where the two behave alike.
+    ///
+    /// # Errors
+    ///
+    /// Present for signature compatibility; this implementation returns
+    /// `Ok` whenever it returns normally.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ThreadPanic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1, 2, 3];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .iter()
+                    .map(|&v| {
+                        s.builder()
+                            .name(format!("worker-{v}"))
+                            .spawn(move |_| v * 10)
+                            .unwrap()
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(sum, 60);
+        }
+
+        #[test]
+        fn join_surfaces_panics() {
+            let caught = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            })
+            .unwrap();
+            assert!(caught);
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_arg() {
+            let n = super::scope(|s| {
+                let h = s.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

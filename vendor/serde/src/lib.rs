@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as derive annotations on `Shape` and
+//! `Tensor`; no serialiser ever runs (the exact binary wire format in
+//! `medsplit-tensor` is hand-written). This stand-in keeps those
+//! annotations compiling offline: the traits are markers and the derives
+//! (feature `derive`) expand to nothing.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

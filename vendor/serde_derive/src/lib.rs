@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing ever serialises through serde (the wire format
+//! is the hand-written exact binary encoding in `medsplit-tensor`). These
+//! derives therefore expand to nothing, keeping the annotations valid
+//! without a serialisation framework in the build.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
