@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> kernel_bench --smoke"
+# Tiny shapes; the binary asserts its own CSV schema, so a green run
+# means the benchmark harness itself still works.
+MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
+
 echo "ci.sh: all green"

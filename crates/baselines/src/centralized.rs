@@ -67,6 +67,7 @@ pub fn train_centralized<T: Transport>(
 
     let mut records = Vec::with_capacity(config.rounds);
     for round in 0..config.rounds {
+        let round_start = std::time::Instant::now();
         let lr = config.lr.lr_at(round);
         opt.set_learning_rate(lr);
         let (batch, batch_labels) = sampler.next_from(&pooled);
@@ -94,6 +95,7 @@ pub fn train_centralized<T: Transport>(
             mean_loss: out.loss,
             cumulative_bytes: snap.total_bytes,
             simulated_time_s: snap.makespan_s,
+            wall_time_s: round_start.elapsed().as_secs_f64(),
             accuracy,
         });
     }

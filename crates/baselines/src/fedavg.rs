@@ -82,6 +82,7 @@ pub fn train_fedavg<T: Transport>(
 
     let mut records = Vec::with_capacity(config.rounds);
     for round in 0..config.rounds {
+        let round_start = std::time::Instant::now();
         let lr = config.lr.lr_at(round);
         let global_params = snapshot_vector(&mut global);
         // Download phase.
@@ -158,6 +159,7 @@ pub fn train_fedavg<T: Transport>(
             mean_loss: losses.iter().sum::<f32>() / losses.len() as f32,
             cumulative_bytes: snap.total_bytes,
             simulated_time_s: snap.makespan_s,
+            wall_time_s: round_start.elapsed().as_secs_f64(),
             accuracy,
         });
     }

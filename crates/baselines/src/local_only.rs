@@ -44,6 +44,7 @@ pub fn train_local_only(
 
     let mut records = Vec::with_capacity(config.rounds);
     for round in 0..config.rounds {
+        let round_start = std::time::Instant::now();
         let lr = config.lr.lr_at(round);
         let mut losses = Vec::with_capacity(shards.len());
         for ((model, sampler), (opt, shard)) in models
@@ -74,6 +75,7 @@ pub fn train_local_only(
             mean_loss: losses.iter().sum::<f32>() / losses.len() as f32,
             cumulative_bytes: 0,
             simulated_time_s: 0.0,
+            wall_time_s: round_start.elapsed().as_secs_f64(),
             accuracy,
         });
     }

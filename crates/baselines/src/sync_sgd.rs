@@ -82,6 +82,7 @@ pub fn train_sync_sgd<T: Transport>(
 
     let mut records = Vec::with_capacity(config.rounds);
     for round in 0..config.rounds {
+        let round_start = std::time::Instant::now();
         let lr = config.lr.lr_at(round);
         let global_params = snapshot_vector(&mut global);
         // Model download to every platform.
@@ -162,6 +163,7 @@ pub fn train_sync_sgd<T: Transport>(
             mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
             cumulative_bytes: snap.total_bytes,
             simulated_time_s: snap.makespan_s,
+            wall_time_s: round_start.elapsed().as_secs_f64(),
             accuracy,
         });
     }

@@ -1,0 +1,324 @@
+//! Kernel benchmark harness for the parallel packed compute backend.
+//!
+//! Sweeps GEMM and convolution shapes across worker-pool sizes and
+//! reports throughput (GFLOP/s), speedup versus one thread, speedup
+//! versus the seed (naive, branchy) kernel, and scratch-arena heap
+//! allocations per step.
+//!
+//! Outputs:
+//!   - `bench_results/kernel_bench.csv` (or `$MEDSPLIT_RESULTS_DIR`),
+//!   - `BENCH_kernels.json` in the current directory (repo root in CI).
+//!
+//! Usage:
+//!   kernel_bench [--smoke] [--threads 1,2,4] [--reps N]
+//!
+//! `--smoke` runs tiny shapes with one repetition and asserts the CSV
+//! schema, so CI can gate on the harness itself staying healthy.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use medsplit_bench::report::{arg_present, arg_value, write_result, TextTable};
+use medsplit_tensor::ops::conv::{conv2d_forward, Conv2dSpec};
+use medsplit_tensor::{init::rng_from_seed, pool, scratch, Tensor};
+
+const CSV_HEADER: &str =
+    "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,speedup_vs_seed,scratch_allocs_per_step";
+
+/// The seed repository's GEMM kernel, kept verbatim as the baseline: a
+/// cache-blocked triple loop with the `aval == 0.0` skip branch the
+/// packed backend removed. Single-threaded by construction.
+fn seed_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    const BLOCK: usize = 64;
+    let mut c = vec![0.0f32; m * n];
+    for ib in (0..m).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let kmax = (kb + BLOCK).min(k);
+            for i in ib..imax {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for p in kb..kmax {
+                    let aval = a[i * k + p];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..p * n + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    threads: usize,
+    reps: usize,
+    best_ms: f64,
+    gflops: f64,
+    speedup_vs_1t: f64,
+    speedup_vs_seed: f64,
+    scratch_allocs_per_step: f64,
+}
+
+/// Times `body` for `reps` repetitions and returns the best wall time in
+/// seconds plus the scratch-arena allocation growth per repetition.
+fn time_best(reps: usize, mut body: impl FnMut()) -> (f64, f64) {
+    // Warm up once so thread spawning and scratch growth don't pollute
+    // the timed region — steady-state allocations are what we report.
+    body();
+    let allocs_before = scratch::stats().allocations;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        body();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let allocs = scratch::stats().allocations - allocs_before;
+    (best, allocs as f64 / reps as f64)
+}
+
+fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows: &mut Vec<Row>) {
+    let mut rng = rng_from_seed(7);
+    let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+
+    let (seed_s, _) = time_best(reps, || {
+        std::hint::black_box(seed_gemm(a.as_slice(), b.as_slice(), m, k, n));
+    });
+
+    let mut one_thread_s = f64::NAN;
+    for &t in threads {
+        pool::set_num_threads(t);
+        let (best_s, allocs) = time_best(reps, || {
+            std::hint::black_box(a.matmul(&b).expect("gemm"));
+        });
+        if t == 1 {
+            one_thread_s = best_s;
+        }
+        rows.push(Row {
+            kernel: "gemm",
+            shape: format!("{m}x{k}x{n}"),
+            threads: t,
+            reps,
+            best_ms: best_s * 1e3,
+            gflops: flops / best_s / 1e9,
+            speedup_vs_1t: one_thread_s / best_s,
+            speedup_vs_seed: seed_s / best_s,
+            scratch_allocs_per_step: allocs,
+        });
+    }
+    pool::set_num_threads(1);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_conv(
+    label: &'static str,
+    n: usize,
+    c: usize,
+    hw: usize,
+    o: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    threads: &[usize],
+    reps: usize,
+    rows: &mut Vec<Row>,
+) {
+    let mut rng = rng_from_seed(11);
+    let input = Tensor::rand_uniform([n, c, hw, hw], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([o, c, kernel, kernel], -0.5, 0.5, &mut rng);
+    let bias = Tensor::rand_uniform([o], -0.1, 0.1, &mut rng);
+    let spec = Conv2dSpec::square(kernel, stride, padding);
+    let (oh, ow) = spec.output_hw(hw, hw).expect("conv shape");
+    let flops = 2.0 * (n * o * oh * ow * c * kernel * kernel) as f64;
+
+    let mut one_thread_s = f64::NAN;
+    for &t in threads {
+        pool::set_num_threads(t);
+        let (best_s, allocs) = time_best(reps, || {
+            std::hint::black_box(conv2d_forward(&input, &weight, Some(&bias), spec).expect("conv"));
+        });
+        if t == 1 {
+            one_thread_s = best_s;
+        }
+        rows.push(Row {
+            kernel: label,
+            shape: format!("{n}x{c}x{hw}x{hw}->k{kernel}s{stride}p{padding}o{o}"),
+            threads: t,
+            reps,
+            best_ms: best_s * 1e3,
+            gflops: flops / best_s / 1e9,
+            speedup_vs_1t: one_thread_s / best_s,
+            // No seed-kernel counterpart: conv was always im2col+GEMM;
+            // the seed comparison is carried by the gemm rows.
+            speedup_vs_seed: f64::NAN,
+            scratch_allocs_per_step: allocs,
+        });
+    }
+    pool::set_num_threads(1);
+}
+
+fn to_csv(rows: &[Row]) -> String {
+    let mut csv = String::from(CSV_HEADER);
+    csv.push('\n');
+    for r in rows {
+        let seed = if r.speedup_vs_seed.is_nan() {
+            String::new()
+        } else {
+            format!("{:.2}", r.speedup_vs_seed)
+        };
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{:.3},{:.2},{:.2},{},{:.2}",
+            r.kernel,
+            r.shape,
+            r.threads,
+            r.reps,
+            r.best_ms,
+            r.gflops,
+            r.speedup_vs_1t,
+            seed,
+            r.scratch_allocs_per_step
+        );
+    }
+    csv
+}
+
+fn to_json(rows: &[Row], host_threads: usize) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
+    let _ = writeln!(json, "  \"host_available_parallelism\": {host_threads},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let seed = if r.speedup_vs_seed.is_nan() {
+            "null".to_string()
+        } else {
+            format!("{:.3}", r.speedup_vs_seed)
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"best_ms\": {:.4}, \
+             \"gflops\": {:.3}, \"speedup_vs_1t\": {:.3}, \"speedup_vs_seed\": {}, \
+             \"scratch_allocs_per_step\": {:.2}}}{}",
+            r.kernel,
+            r.shape,
+            r.threads,
+            r.best_ms,
+            r.gflops,
+            r.speedup_vs_1t,
+            seed,
+            r.scratch_allocs_per_step,
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn parse_threads(spec: &str) -> Vec<usize> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = arg_present(&args, "--smoke");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = match arg_value(&args, "--threads") {
+        Some(spec) => parse_threads(&spec),
+        None if smoke => vec![1, 2],
+        None => vec![1, 2, 4],
+    };
+    let reps: usize = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps takes an integer"))
+        .unwrap_or(if smoke { 1 } else { 5 });
+
+    let mut rows = Vec::new();
+    if smoke {
+        bench_gemm(48, 33, 17, &threads, reps, &mut rows);
+        bench_conv("conv2d", 2, 3, 8, 4, 3, 1, 1, &threads, reps, &mut rows);
+    } else {
+        // GEMM shapes: the acceptance shape plus split-model layer shapes
+        // (tall-skinny activations x weights) and a wide-N case that
+        // exercises the packed B-strip path.
+        bench_gemm(512, 512, 512, &threads, reps, &mut rows);
+        bench_gemm(256, 256, 256, &threads, reps, &mut rows);
+        bench_gemm(128, 784, 256, &threads, reps, &mut rows);
+        bench_gemm(64, 256, 1024, &threads, reps, &mut rows);
+        // Conv shapes drawn from VGG16 / ResNet18 early stages, scaled to
+        // medical-imaging-sized inputs the paper's CNNs use.
+        bench_conv("conv2d", 4, 3, 64, 64, 3, 1, 1, &threads, reps, &mut rows);
+        bench_conv("conv2d", 4, 64, 32, 64, 3, 1, 1, &threads, reps, &mut rows);
+        bench_conv("conv2d", 8, 3, 56, 64, 7, 2, 3, &threads, reps, &mut rows);
+    }
+
+    let csv = to_csv(&rows);
+    assert!(
+        csv.lines().next() == Some(CSV_HEADER),
+        "kernel_bench CSV schema drifted"
+    );
+    assert!(rows.len() >= threads.len(), "kernel_bench produced no rows");
+    for line in csv.lines().skip(1) {
+        assert_eq!(
+            line.split(',').count(),
+            CSV_HEADER.split(',').count(),
+            "CSV row arity mismatch: {line}"
+        );
+    }
+
+    let csv_path = write_result("kernel_bench.csv", &csv).expect("write kernel_bench.csv");
+    let json = to_json(&rows, host_threads);
+    // Smoke runs keep the JSON next to the CSV so they never clobber the
+    // committed full-sweep numbers at the repo root.
+    let json_path = if smoke {
+        medsplit_bench::report::results_dir().join("BENCH_kernels.json")
+    } else {
+        std::path::PathBuf::from("BENCH_kernels.json")
+    };
+    std::fs::write(&json_path, &json).expect("write BENCH_kernels.json");
+
+    let mut table = TextTable::new(
+        "kernel_bench (best-of-reps wall time)",
+        &[
+            "kernel",
+            "shape",
+            "threads",
+            "best ms",
+            "GFLOP/s",
+            "vs 1t",
+            "vs seed",
+            "allocs/step",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.kernel.to_string(),
+            r.shape.clone(),
+            r.threads.to_string(),
+            format!("{:.3}", r.best_ms),
+            format!("{:.2}", r.gflops),
+            format!("{:.2}x", r.speedup_vs_1t),
+            if r.speedup_vs_seed.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.2}x", r.speedup_vs_seed)
+            },
+            format!("{:.2}", r.scratch_allocs_per_step),
+        ]);
+    }
+    println!("{table}");
+    println!("host available_parallelism: {host_threads}");
+    println!("wrote {} and {}", csv_path.display(), json_path.display());
+    if smoke {
+        println!("smoke OK: {} rows, schema verified", rows.len());
+    }
+}

@@ -16,6 +16,12 @@ pub struct RoundRecord {
     pub cumulative_bytes: u64,
     /// Simulated makespan after this round, in seconds.
     pub simulated_time_s: f64,
+    /// Wall-clock duration of this round on the host, in seconds.
+    ///
+    /// Unlike [`simulated_time_s`](Self::simulated_time_s) (the modelled
+    /// geo-distributed makespan), this measures real compute time and is
+    /// what the parallel kernel backend speeds up.
+    pub wall_time_s: f64,
     /// Test accuracy, if this round was an evaluation round.
     pub accuracy: Option<f32>,
 }
@@ -63,14 +69,21 @@ impl TrainingHistory {
     }
 
     /// Renders the history as CSV
-    /// (`method,round,lr,loss,bytes,time_s,accuracy`).
+    /// (`method,round,lr,loss,bytes,time_s,wall_s,accuracy`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("method,round,lr,loss,bytes,time_s,accuracy\n");
+        let mut out = String::from("method,round,lr,loss,bytes,time_s,wall_s,accuracy\n");
         for r in &self.records {
             let acc = r.accuracy.map_or(String::new(), |a| format!("{a:.4}"));
             out.push_str(&format!(
-                "{},{},{:.5},{:.4},{},{:.3},{}\n",
-                self.method, r.round, r.lr, r.mean_loss, r.cumulative_bytes, r.simulated_time_s, acc
+                "{},{},{:.5},{:.4},{},{:.3},{:.3},{}\n",
+                self.method,
+                r.round,
+                r.lr,
+                r.mean_loss,
+                r.cumulative_bytes,
+                r.simulated_time_s,
+                r.wall_time_s,
+                acc
             ));
         }
         out
@@ -88,6 +101,7 @@ mod tests {
             mean_loss: 1.0,
             cumulative_bytes: bytes,
             simulated_time_s: round as f64,
+            wall_time_s: 0.01,
             accuracy: acc,
         };
         TrainingHistory {

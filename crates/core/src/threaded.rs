@@ -128,7 +128,9 @@ pub fn train_threaded<T: Transport>(
         ));
     }
 
+    let train_start = std::time::Instant::now();
     let results = run_per_node(transport, nodes);
+    let train_wall_s = train_start.elapsed().as_secs_f64();
 
     let mut server_back: Option<Box<SplitServer>> = None;
     let mut platforms_back: Vec<(Box<Platform>, Vec<f32>)> = Vec::new();
@@ -163,6 +165,9 @@ pub fn train_threaded<T: Transport>(
                 mean_loss,
                 cumulative_bytes: snap.total_bytes * (round as u64 + 1) / config.rounds.max(1) as u64,
                 simulated_time_s: snap.makespan_s * (round as f64 + 1.0) / config.rounds.max(1) as f64,
+                // Rounds are not observable from inside the node threads
+                // (see module docs), so wall time is amortised evenly too.
+                wall_time_s: train_wall_s / config.rounds.max(1) as f64,
                 accuracy: if round + 1 == config.rounds {
                     Some(final_accuracy)
                 } else {

@@ -174,6 +174,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
     pub fn run(&mut self) -> Result<TrainingHistory> {
         let mut records = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
+            let round_start = std::time::Instant::now();
             let lr = self.config.lr.lr_at(round);
             for p in &mut self.platforms {
                 p.set_lr(lr);
@@ -195,6 +196,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
                 mean_loss,
                 cumulative_bytes: snap.total_bytes,
                 simulated_time_s: snap.makespan_s,
+                wall_time_s: round_start.elapsed().as_secs_f64(),
                 accuracy,
             });
         }

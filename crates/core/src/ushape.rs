@@ -275,6 +275,7 @@ impl<'t, T: Transport> UShapeTrainer<'t, T> {
         let k = self.platforms.len();
         let mut records = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
+            let round_start = std::time::Instant::now();
             let lr = self.config.lr.lr_at(round);
             for p in &mut self.platforms {
                 p.set_lr(lr);
@@ -332,6 +333,7 @@ impl<'t, T: Transport> UShapeTrainer<'t, T> {
                 mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
                 cumulative_bytes: snap.total_bytes,
                 simulated_time_s: snap.makespan_s,
+                wall_time_s: round_start.elapsed().as_secs_f64(),
                 accuracy,
             });
         }

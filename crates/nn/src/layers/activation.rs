@@ -62,7 +62,7 @@ impl Activation {
 
 impl Layer for Activation {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.map(|x| self.apply(x));
+        let out = input.par_map(|x| self.apply(x));
         if mode == Mode::Train {
             self.cached_output = Some(out.clone());
             if matches!(self.kind, ActivationKind::LeakyRelu(_)) {
@@ -78,16 +78,16 @@ impl Layer for Activation {
             .as_ref()
             .ok_or_else(|| missing_cache("Activation"))?;
         match self.kind {
-            ActivationKind::Relu => out.zip_map(grad_out, |y, g| if y > 0.0 { g } else { 0.0 }),
+            ActivationKind::Relu => out.par_zip_map(grad_out, |y, g| if y > 0.0 { g } else { 0.0 }),
             ActivationKind::LeakyRelu(a) => {
                 let input = self
                     .cached_input
                     .as_ref()
                     .ok_or_else(|| missing_cache("LeakyRelu"))?;
-                input.zip_map(grad_out, |x, g| if x > 0.0 { g } else { a * g })
+                input.par_zip_map(grad_out, |x, g| if x > 0.0 { g } else { a * g })
             }
-            ActivationKind::Tanh => out.zip_map(grad_out, |y, g| g * (1.0 - y * y)),
-            ActivationKind::Sigmoid => out.zip_map(grad_out, |y, g| g * y * (1.0 - y)),
+            ActivationKind::Tanh => out.par_zip_map(grad_out, |y, g| g * (1.0 - y * y)),
+            ActivationKind::Sigmoid => out.par_zip_map(grad_out, |y, g| g * y * (1.0 - y)),
         }
     }
 

@@ -10,6 +10,9 @@
 //! - matrix kernels ([`Tensor::matmul`], fused-transpose variants),
 //! - convolution & pooling ([`ops::conv`], [`ops::pool`]) with exact
 //!   backward passes,
+//! - a persistent worker pool ([`pool`], sized by `MEDSPLIT_THREADS`)
+//!   and a zero-steady-state-allocation scratch arena ([`scratch`])
+//!   backing every hot kernel,
 //! - seeded initialisers ([`init`]),
 //! - a byte-exact wire format ([`Tensor::to_bytes`]) that the evaluation's
 //!   communication accounting is built on,
@@ -33,6 +36,8 @@ pub mod half;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
+pub mod scratch;
 mod serialize;
 mod shape;
 mod tensor;

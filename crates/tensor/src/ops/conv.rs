@@ -6,12 +6,29 @@
 //!
 //! Forward pass lowers each input image to a `[C*KH*KW, OH*OW]` column
 //! matrix and multiplies by the `[O, C*KH*KW]` filter matrix; the backward
-//! pass reuses the same lowering for both the weight gradient (a `matmul_nt`
-//! with the columns) and the input gradient (a `matmul_tn` followed by
-//! `col2im`).
+//! pass reuses the same lowering for both the weight gradient (a `A·Bᵀ`
+//! GEMM with the columns) and the input gradient (a `Aᵀ·B` GEMM followed
+//! by `col2im`).
+//!
+//! Both passes are parallelised over the batch axis (per image forward,
+//! per fixed 4-image chunk backward) and draw every temporary — column
+//! matrices, GEMM pack buffers — from the thread-local scratch arena
+//! ([`crate::scratch`]), so steady-state training performs zero scratch
+//! heap allocations per step. The backward pass reduces per-chunk weight
+//! and bias partials in ascending chunk order; because the chunking is
+//! fixed (never derived from the thread count), results are identical
+//! for every `MEDSPLIT_THREADS` value.
 
 use crate::error::{Result, TensorError};
+use crate::ops::matmul::{gemm_into, gemm_nt_into, gemm_tn_into};
+use crate::pool;
+use crate::scratch;
 use crate::tensor::Tensor;
+
+/// Images per backward-pass work chunk. Fixed so that the partial-sum
+/// reduction order (and therefore every gradient bit) is independent of
+/// the pool size.
+const BWD_CHUNK: usize = 4;
 
 /// Hyper-parameters of a 2-D convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,8 +191,7 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
     let ncols = oh * ow;
     let mut out = Tensor::zeros([n, rows, ncols]);
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
-    for i in 0..n {
+    pool::parallel_chunks_mut(out.as_mut_slice(), rows * ncols, |i, dst| {
         im2col_single(
             &src[i * c * h * w..(i + 1) * c * h * w],
             c,
@@ -184,9 +200,9 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
             spec,
             oh,
             ow,
-            &mut dst[i * rows * ncols..(i + 1) * rows * ncols],
+            dst,
         );
-    }
+    });
     Ok(out)
 }
 
@@ -224,34 +240,34 @@ pub fn conv2d_forward(
     let (oh, ow) = spec.output_hw(h, w)?;
     let rows = c * kh * kw;
     let ncols = oh * ow;
-    let wmat = weight.reshape([o, rows])?;
+    // OIHW weights are row-major, so the `[O, C*KH*KW]` filter matrix is
+    // the weight buffer viewed in place — no reshape copy.
+    let wmat = weight.as_slice();
     let mut out = Tensor::zeros([n, o, oh, ow]);
-    let mut cols = vec![0.0f32; rows * ncols];
     let src = input.as_slice();
-    for i in 0..n {
-        im2col_single(
-            &src[i * c * h * w..(i + 1) * c * h * w],
-            c,
-            h,
-            w,
-            spec,
-            oh,
-            ow,
-            &mut cols,
-        );
-        let cols_t = Tensor::from_vec(cols.clone(), [rows, ncols])?;
-        let res = wmat.matmul(&cols_t)?; // [o, ncols]
-        let dst = &mut out.as_mut_slice()[i * o * ncols..(i + 1) * o * ncols];
-        dst.copy_from_slice(res.as_slice());
+    let bias = bias.map(Tensor::as_slice);
+    pool::parallel_chunks_mut(out.as_mut_slice(), o * ncols, |i, dst| {
+        scratch::with_f32(rows * ncols, |cols| {
+            im2col_single(
+                &src[i * c * h * w..(i + 1) * c * h * w],
+                c,
+                h,
+                w,
+                spec,
+                oh,
+                ow,
+                cols,
+            );
+            gemm_into(wmat, cols, dst, o, rows, ncols);
+        });
         if let Some(b) = bias {
-            for oc in 0..o {
-                let bv = b.as_slice()[oc];
+            for (oc, &bv) in b.iter().enumerate() {
                 for v in &mut dst[oc * ncols..(oc + 1) * ncols] {
                     *v += bv;
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -283,48 +299,66 @@ pub fn conv2d_backward(
     }
     let rows = c * kh * kw;
     let ncols = oh * ow;
-    let wmat = weight.reshape([o, rows])?;
+    let wmat = weight.as_slice();
     let mut grad_input = Tensor::zeros([n, c, h, w]);
-    let mut grad_weight = Tensor::zeros([o, rows]);
+    let mut grad_weight = Tensor::zeros([o, c, kh, kw]);
     let mut grad_bias = Tensor::zeros([o]);
-    let mut cols = vec![0.0f32; rows * ncols];
     let src = input.as_slice();
     let g = grad_out.as_slice();
-    for i in 0..n {
-        im2col_single(
-            &src[i * c * h * w..(i + 1) * c * h * w],
-            c,
-            h,
-            w,
-            spec,
-            oh,
-            ow,
-            &mut cols,
-        );
-        let cols_t = Tensor::from_vec(cols.clone(), [rows, ncols])?;
-        let gmat = Tensor::from_vec(g[i * o * ncols..(i + 1) * o * ncols].to_vec(), [o, ncols])?;
-        // dW += G · colsᵀ
-        let gw = gmat.matmul_nt(&cols_t)?;
-        grad_weight.add_assign(&gw)?;
-        // db += row sums of G
-        for oc in 0..o {
-            let s: f32 = gmat.as_slice()[oc * ncols..(oc + 1) * ncols].iter().sum();
-            grad_bias.as_mut_slice()[oc] += s;
+    // Each fixed-size image chunk accumulates weight/bias partials into
+    // its own region of `partials` while scattering input gradients
+    // directly into its (disjoint) slice of `grad_input`; the partials
+    // are then reduced sequentially in chunk order below, keeping the
+    // result independent of the pool size.
+    let pstride = o * rows + o;
+    let nchunks = n.div_ceil(BWD_CHUNK);
+    let mut partials = vec![0.0f32; nchunks * pstride];
+    let gi = pool::RawSliceMut::new(grad_input.as_mut_slice());
+    pool::parallel_chunks_mut(&mut partials, pstride, |chunk_idx, partial| {
+        let (gw_part, gb_part) = partial.split_at_mut(o * rows);
+        let lo = chunk_idx * BWD_CHUNK;
+        let hi = (lo + BWD_CHUNK).min(n);
+        for i in lo..hi {
+            let gmat = &g[i * o * ncols..(i + 1) * o * ncols];
+            scratch::with_f32(rows * ncols, |cols| {
+                im2col_single(
+                    &src[i * c * h * w..(i + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    spec,
+                    oh,
+                    ow,
+                    cols,
+                );
+                // dW += G · colsᵀ
+                gemm_nt_into(gmat, cols, gw_part, o, rows, ncols, true);
+                // dcols = Wᵀ · G, then scatter back to image space.
+                scratch::with_f32(rows * ncols, |dcols| {
+                    dcols.fill(0.0);
+                    gemm_tn_into(wmat, gmat, dcols, o, rows, ncols);
+                    // SAFETY: image `i` belongs to exactly one chunk, so
+                    // the reborrowed region is exclusive to this task.
+                    let img = unsafe { gi.slice(i * c * h * w, (i + 1) * c * h * w) };
+                    col2im_single(dcols, c, h, w, spec, oh, ow, img);
+                });
+            });
+            // db += row sums of G
+            for (oc, gb) in gb_part.iter_mut().enumerate() {
+                *gb += gmat[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
+            }
         }
-        // dcols = Wᵀ · G, then scatter back to image space.
-        let dcols = wmat.matmul_tn(&gmat)?;
-        col2im_single(
-            dcols.as_slice(),
-            c,
-            h,
-            w,
-            spec,
-            oh,
-            ow,
-            &mut grad_input.as_mut_slice()[i * c * h * w..(i + 1) * c * h * w],
-        );
+    });
+    for chunk in partials.chunks_exact(pstride) {
+        let (gw_part, gb_part) = chunk.split_at(o * rows);
+        for (dst, &v) in grad_weight.as_mut_slice().iter_mut().zip(gw_part) {
+            *dst += v;
+        }
+        for (dst, &v) in grad_bias.as_mut_slice().iter_mut().zip(gb_part) {
+            *dst += v;
+        }
     }
-    Ok((grad_input, grad_weight.reshape([o, c, kh, kw])?, grad_bias))
+    Ok((grad_input, grad_weight, grad_bias))
 }
 
 #[cfg(test)]

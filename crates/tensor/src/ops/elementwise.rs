@@ -1,21 +1,48 @@
 //! Elementwise arithmetic with NumPy-style broadcasting.
+//!
+//! Same-shape binary ops, the in-place accumulators (`add_assign`,
+//! `axpy`, `scale_inplace`) and the `par_map`/`par_zip_map` combinators
+//! run across the worker pool for large tensors, in fixed-size chunks so
+//! results do not depend on the thread count. Small tensors stay on the
+//! sequential path — below [`PAR_MIN`] elements the dispatch overhead
+//! exceeds the work.
 
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 use crate::error::{Result, TensorError};
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
+/// Elements per parallel chunk; fixed (never thread-derived) so chunk
+/// boundaries — and therefore results — are deterministic.
+const PAR_CHUNK: usize = 32 * 1024;
+/// Minimum element count before an elementwise op goes parallel.
+const PAR_MIN: usize = PAR_CHUNK;
+
 /// Computes `out[i] = f(a[bcast(i)], b[bcast(i)])` over the broadcast shape.
-fn broadcast_binary(a: &Tensor, b: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+fn broadcast_binary(
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Result<Tensor> {
     if a.shape() == b.shape() {
         // Fast path: identical shapes.
-        let data = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let (da, db) = (a.as_slice(), b.as_slice());
+        let mut data = vec![0.0f32; da.len()];
+        if da.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(da[off + i], db[off + i]);
+                }
+            });
+        } else {
+            for ((v, &x), &y) in data.iter_mut().zip(da).zip(db) {
+                *v = f(x, y);
+            }
+        }
         return Tensor::from_vec(data, a.shape().clone());
     }
     let out_shape = a
@@ -128,8 +155,19 @@ impl Tensor {
                 op: "add_assign",
             });
         }
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += b;
+        let src = other.as_slice();
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(dst, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                for (i, a) in chunk.iter_mut().enumerate() {
+                    *a += src[off + i];
+                }
+            });
+        } else {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
         }
         Ok(())
     }
@@ -148,15 +186,89 @@ impl Tensor {
                 op: "axpy",
             });
         }
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += alpha * b;
+        let src = other.as_slice();
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(dst, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                for (i, a) in chunk.iter_mut().enumerate() {
+                    *a += alpha * src[off + i];
+                }
+            });
+        } else {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += alpha * b;
+            }
         }
         Ok(())
     }
 
     /// In-place scaling.
     pub fn scale_inplace(&mut self, s: f32) {
-        self.map_inplace(|x| x * s);
+        let dst = self.as_mut_slice();
+        if dst.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(dst, PAR_CHUNK, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v *= s;
+                }
+            });
+        } else {
+            for v in dst.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Like [`map`](Self::map), but fans large tensors out across the
+    /// worker pool. Requires a `Sync` closure; results are identical to
+    /// the sequential `map` for any thread count.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; src.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(src[off + i]);
+                }
+            });
+        } else {
+            for (v, &x) in data.iter_mut().zip(src) {
+                *v = f(x);
+            }
+        }
+        Tensor::from_vec(data, self.shape().clone()).expect("par_map preserves length")
+    }
+
+    /// Like [`zip_map`](Self::zip_map), but fans large tensors out across
+    /// the worker pool. Requires a `Sync` closure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn par_zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().clone(),
+                rhs: other.shape().clone(),
+                op: "par_zip_map",
+            });
+        }
+        let (da, db) = (self.as_slice(), other.as_slice());
+        let mut data = vec![0.0f32; da.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(da[off + i], db[off + i]);
+                }
+            });
+        } else {
+            for ((v, &x), &y) in data.iter_mut().zip(da).zip(db) {
+                *v = f(x, y);
+            }
+        }
+        Tensor::from_vec(data, self.shape().clone())
     }
 
     /// Fills the tensor with a constant.

@@ -1,16 +1,36 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication kernels: packed, cache-blocked, multi-threaded.
 //!
-//! The implementation is a cache-blocked, `k`-inner-loop triple loop over
-//! contiguous row-major buffers. It is not BLAS, but the loop order
-//! (`i`, `k`, `j` with the `j` loop innermost over contiguous memory) lets
-//! the compiler auto-vectorise, which is fast enough to train the scaled
-//! CIFAR-family models of the evaluation on CPU.
+//! All three GEMM variants decompose the output into fixed 64-row panels
+//! that the worker pool ([`crate::pool`]) distributes over threads; the
+//! panel size never depends on the thread count and each panel writes a
+//! disjoint output region, so results are **bit-identical for every
+//! `MEDSPLIT_THREADS` value** (including the single-thread fallback,
+//! which matches the original sequential kernel bit-for-bit — per output
+//! element the inner dimension is accumulated in ascending order exactly
+//! as before).
+//!
+//! Within a panel the kernels are cache-blocked over the inner dimension
+//! (`KC`) and, for wide outputs, over columns (`NC`), with the active
+//! `B`-strip packed into a thread-local scratch buffer
+//! ([`crate::scratch`]) so the innermost loops stream contiguous memory.
+//! `matmul_tn` packs the transposed `A`-panel the same way, turning its
+//! stride-`m` column walks into unit-stride loads. The inner loops carry
+//! no data-dependent branches (the historical `aval == 0.0` skip defeated
+//! auto-vectorisation on dense activations and was removed).
 
 use crate::error::{Result, TensorError};
+use crate::pool;
+use crate::scratch;
 use crate::tensor::Tensor;
 
-/// Block size for the cache-blocked kernel, in elements.
+/// Output row-panel height: the unit of parallel work distribution.
+/// Fixed (never derived from the thread count) to keep results
+/// bit-identical across pool sizes.
 const BLOCK: usize = 64;
+/// Cache block over the inner (`k`) dimension.
+const KC: usize = 128;
+/// Column-strip width above which the active `B` strip is packed.
+const NC: usize = 512;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -23,27 +43,135 @@ fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// `C = A · B` for row-major matrices, writing into a zeroed output buffer.
-fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for ib in (0..m).step_by(BLOCK) {
-        let i_end = (ib + BLOCK).min(m);
-        for kb in (0..k).step_by(BLOCK) {
-            let k_end = (kb + BLOCK).min(k);
-            for i in ib..i_end {
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for p in kb..k_end {
-                    let aval = a[i * k + p];
-                    if aval == 0.0 {
-                        continue;
+/// `crow[..] += aval * brow[..]` — the shared vectorisable inner loop.
+#[inline(always)]
+fn axpy_row(crow: &mut [f32], aval: f32, brow: &[f32]) {
+    for (cv, &bv) in crow.iter_mut().zip(brow) {
+        *cv += aval * bv;
+    }
+}
+
+/// `C += A · B` over one row panel (`rows` rows of `A`/`C` starting at
+/// global row `i0`), cache-blocked and packed. `C` must be zeroed by the
+/// caller (or hold a partial sum to accumulate onto).
+fn gemm_panel(a: &[f32], b: &[f32], c_panel: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    if n > NC {
+        // Wide output: pack the active KC×NC strip of B so the inner loop
+        // streams one cache-resident buffer.
+        scratch::with_f32(KC * NC, |pack| {
+            for kb in (0..k).step_by(KC) {
+                let kc = (k - kb).min(KC);
+                for jb in (0..n).step_by(NC) {
+                    let nc = (n - jb).min(NC);
+                    for p in 0..kc {
+                        let src = (kb + p) * n + jb;
+                        pack[p * nc..(p + 1) * nc].copy_from_slice(&b[src..src + nc]);
                     }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += aval * bv;
+                    for ii in 0..rows {
+                        let arow = &a[(i0 + ii) * k + kb..(i0 + ii) * k + kb + kc];
+                        let crow = &mut c_panel[ii * n + jb..ii * n + jb + nc];
+                        for (p, &aval) in arow.iter().enumerate() {
+                            axpy_row(crow, aval, &pack[p * nc..(p + 1) * nc]);
+                        }
                     }
+                }
+            }
+        });
+    } else {
+        // Narrow output: B rows are short and already contiguous.
+        for kb in (0..k).step_by(KC) {
+            let kc = (k - kb).min(KC);
+            for ii in 0..rows {
+                let arow = &a[(i0 + ii) * k + kb..(i0 + ii) * k + kb + kc];
+                let crow = &mut c_panel[ii * n..(ii + 1) * n];
+                for (p, &aval) in arow.iter().enumerate() {
+                    axpy_row(crow, aval, &b[(kb + p) * n..(kb + p + 1) * n]);
                 }
             }
         }
     }
+}
+
+/// `C = A · B` for row-major buffers; `c` must be zeroed.
+/// Parallelised over 64-row output panels.
+pub(crate) fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
+        let rows = panel.len() / n.max(1);
+        gemm_panel(a, b, panel, pi * BLOCK, rows, k, n);
+    });
+}
+
+/// `C = Aᵀ · B` with `a` stored `[k, m]`; `c` (`[m, n]`) must be zeroed.
+/// The transposed `A` panel is packed into scratch so the inner loops are
+/// unit-stride despite the column walk.
+pub(crate) fn gemm_tn_into(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
+        let i0 = pi * BLOCK;
+        let rows = panel.len() / n.max(1);
+        scratch::with_f32(BLOCK * KC, |packa| {
+            for kb in (0..k).step_by(KC) {
+                let kc = (k - kb).min(KC);
+                // packa[ii * kc + p] = a[(kb + p) * m + i0 + ii]:
+                // sequential reads along A's rows, cache-resident writes.
+                for p in 0..kc {
+                    let arow = &a[(kb + p) * m + i0..(kb + p) * m + i0 + rows];
+                    for (ii, &av) in arow.iter().enumerate() {
+                        packa[ii * kc + p] = av;
+                    }
+                }
+                for ii in 0..rows {
+                    let arow = &packa[ii * kc..ii * kc + kc];
+                    let crow = &mut panel[ii * n..(ii + 1) * n];
+                    for (p, &aval) in arow.iter().enumerate() {
+                        axpy_row(crow, aval, &b[(kb + p) * n..(kb + p + 1) * n]);
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// `C = A · Bᵀ` (or `C += A · Bᵀ` when `accumulate`) with `b` stored
+/// `[n, k]`. Each output element is an independent dot product, so the
+/// panels need no packing — both operand rows are already contiguous.
+pub(crate) fn gemm_nt_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
+        let i0 = pi * BLOCK;
+        let rows = panel.len() / n.max(1);
+        for ii in 0..rows {
+            let arow = &a[(i0 + ii) * k..(i0 + ii) * k + k];
+            let crow = &mut panel[ii * n..(ii + 1) * n];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                if accumulate {
+                    *cv += acc;
+                } else {
+                    *cv = acc;
+                }
+            }
+        }
+    });
 }
 
 impl Tensor {
@@ -73,7 +201,7 @@ impl Tensor {
             });
         }
         let mut out = Tensor::zeros([m, n]);
-        gemm(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k1, n);
+        gemm_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k1, n);
         Ok(out)
     }
 
@@ -93,23 +221,8 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros([m, n]);
-        let c = out.as_mut_slice();
-        for p in 0..k1 {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
-        }
+        gemm_tn_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), k1, m, n);
         Ok(out)
     }
 
@@ -129,22 +242,16 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = Tensor::zeros([m, n]);
-        let c = out.as_mut_slice();
-        for i in 0..m {
-            let a_row = &a[i * k1..(i + 1) * k1];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (j, cv) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k1..(j + 1) * k1];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
+        gemm_nt_into(
+            self.as_slice(),
+            other.as_slice(),
+            out.as_mut_slice(),
+            m,
+            n,
+            k1,
+            false,
+        );
         Ok(out)
     }
 
@@ -267,9 +374,9 @@ mod tests {
 
     #[test]
     fn blocked_kernel_matches_naive_on_larger_sizes() {
-        // Exceed BLOCK to exercise the blocking logic.
+        // Exceed BLOCK and KC to exercise panelling and k-blocking.
         let m = 70;
-        let k = 65;
+        let k = 150;
         let n = 72;
         let a = Tensor::from_vec(
             (0..m * k).map(|i| ((i * 37 % 101) as f32) / 50.0 - 1.0).collect(),
@@ -290,6 +397,28 @@ mod tests {
             }
             let got = c.as_slice()[i * n + j];
             assert!((acc - got).abs() < 1e-2, "mismatch at ({i},{j}): {acc} vs {got}");
+        }
+    }
+
+    #[test]
+    fn wide_output_takes_the_packed_path() {
+        // n > NC forces the B-strip packing branch; compare against the
+        // narrow-path result computed column-block by column-block.
+        let (m, k, n) = (3, 33, NC + 17);
+        let mk = |seed: usize, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32) / 499.0 - 1.0)
+                .collect()
+        };
+        let a = Tensor::from_vec(mk(1, m * k), [m, k]).unwrap();
+        let b = Tensor::from_vec(mk(2, k * n), [k, n]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        for &(i, j) in &[(0, 0), (2, n - 1), (1, NC), (2, NC - 1)] {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+            }
+            assert!((acc - c.as_slice()[i * n + j]).abs() < 1e-3, "({i},{j})");
         }
     }
 }

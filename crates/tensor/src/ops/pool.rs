@@ -1,7 +1,15 @@
 //! 2-D max- and average-pooling with exact backward passes.
+//!
+//! The forward passes and the average-pooling backward pass are
+//! parallelised over `(batch, channel)` planes — every plane writes a
+//! disjoint output region, so results are identical for any pool size.
+//! The max-pooling backward pass stays sequential: it scatters through
+//! caller-supplied `argmax` indices, which the type system cannot prove
+//! disjoint, and it is a single cheap pass.
 
 use crate::error::{Result, TensorError};
 use crate::ops::conv::Conv2dSpec;
+use crate::pool;
 use crate::tensor::Tensor;
 
 fn check_nchw(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
@@ -41,40 +49,44 @@ pub fn maxpool2d_forward(input: &Tensor, spec: Conv2dSpec) -> Result<MaxPoolOutp
     let mut output = Tensor::zeros([n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
     let src = input.as_slice();
-    let dst = output.as_mut_slice();
     let pad = spec.padding as isize;
-    let mut oidx = 0usize;
-    for i in 0..n {
-        for ch in 0..c {
-            let base = (i * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = base; // fallback; will be overwritten
-                    for ky in 0..spec.kernel_h {
-                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    let plane = oh * ow;
+    let dst = pool::RawSliceMut::new(output.as_mut_slice());
+    let arg = pool::RawSliceMut::new(&mut argmax);
+    pool::parallel_for(n * c, |p| {
+        let base = p * h * w;
+        // SAFETY: plane `p` owns exactly `[p * plane, (p + 1) * plane)`
+        // of both outputs.
+        let dst = unsafe { dst.slice(p * plane, (p + 1) * plane) };
+        let arg = unsafe { arg.slice(p * plane, (p + 1) * plane) };
+        let mut oidx = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = base; // fallback; will be overwritten
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..spec.kernel_w {
-                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let idx = base + iy as usize * w + ix as usize;
-                            if src[idx] > best {
-                                best = src[idx];
-                                best_idx = idx;
-                            }
+                        let idx = base + iy as usize * w + ix as usize;
+                        if src[idx] > best {
+                            best = src[idx];
+                            best_idx = idx;
                         }
                     }
-                    dst[oidx] = best;
-                    argmax[oidx] = best_idx;
-                    oidx += 1;
                 }
+                dst[oidx] = best;
+                arg[oidx] = best_idx;
+                oidx += 1;
             }
         }
-    }
+    });
     Ok(MaxPoolOutput { output, argmax })
 }
 
@@ -114,34 +126,31 @@ pub fn avgpool2d_forward(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
     let area = (spec.kernel_h * spec.kernel_w) as f32;
     let mut output = Tensor::zeros([n, c, oh, ow]);
     let src = input.as_slice();
-    let dst = output.as_mut_slice();
     let pad = spec.padding as isize;
-    let mut oidx = 0usize;
-    for i in 0..n {
-        for ch in 0..c {
-            let base = (i * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ky in 0..spec.kernel_h {
-                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    pool::parallel_chunks_mut(output.as_mut_slice(), oh * ow, |p, dst| {
+        let base = p * h * w;
+        let mut oidx = 0usize;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..spec.kernel_w {
-                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            acc += src[base + iy as usize * w + ix as usize];
-                        }
+                        acc += src[base + iy as usize * w + ix as usize];
                     }
-                    dst[oidx] = acc / area;
-                    oidx += 1;
                 }
+                dst[oidx] = acc / area;
+                oidx += 1;
             }
         }
-    }
+    });
     Ok(output)
 }
 
@@ -174,33 +183,29 @@ pub fn avgpool2d_backward(grad_out: &Tensor, input_shape: &crate::Shape, spec: C
     let area = (spec.kernel_h * spec.kernel_w) as f32;
     let mut grad_in = Tensor::zeros(input_shape.clone());
     let g = grad_out.as_slice();
-    let gi = grad_in.as_mut_slice();
     let pad = spec.padding as isize;
-    let mut oidx = 0usize;
-    for i in 0..n {
-        for ch in 0..c {
-            let base = (i * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let gv = g[oidx] / area;
-                    oidx += 1;
-                    for ky in 0..spec.kernel_h {
-                        let iy = (oy * spec.stride) as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    pool::parallel_chunks_mut(grad_in.as_mut_slice(), h * w, |p, gi| {
+        let mut oidx = p * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = g[oidx] / area;
+                oidx += 1;
+                for ky in 0..spec.kernel_h {
+                    let iy = (oy * spec.stride) as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..spec.kernel_w {
+                        let ix = (ox * spec.stride) as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..spec.kernel_w {
-                            let ix = (ox * spec.stride) as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            gi[base + iy as usize * w + ix as usize] += gv;
-                        }
+                        gi[iy as usize * w + ix as usize] += gv;
                     }
                 }
             }
         }
-    }
+    });
     Ok(grad_in)
 }
 
@@ -214,13 +219,12 @@ pub fn global_avgpool(input: &Tensor) -> Result<Tensor> {
     let area = (h * w) as f32;
     let mut out = Tensor::zeros([n, c]);
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
-    for i in 0..n {
-        for ch in 0..c {
+    pool::parallel_chunks_mut(out.as_mut_slice(), c, |i, dst| {
+        for (ch, d) in dst.iter_mut().enumerate() {
             let base = (i * c + ch) * h * w;
-            dst[i * c + ch] = src[base..base + h * w].iter().sum::<f32>() / area;
+            *d = src[base..base + h * w].iter().sum::<f32>() / area;
         }
-    }
+    });
     Ok(out)
 }
 
@@ -250,16 +254,12 @@ pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: &crate::Shape) ->
     let area = (h * w) as f32;
     let mut grad_in = Tensor::zeros(input_shape.clone());
     let g = grad_out.as_slice();
-    let gi = grad_in.as_mut_slice();
-    for i in 0..n {
-        for ch in 0..c {
-            let gv = g[i * c + ch] / area;
-            let base = (i * c + ch) * h * w;
-            for v in &mut gi[base..base + h * w] {
-                *v = gv;
-            }
+    pool::parallel_chunks_mut(grad_in.as_mut_slice(), h * w, |p, gi| {
+        let gv = g[p] / area;
+        for v in gi.iter_mut() {
+            *v = gv;
         }
-    }
+    });
     Ok(grad_in)
 }
 

@@ -1,0 +1,381 @@
+//! Persistent worker pool for data-parallel kernels.
+//!
+//! All parallel tensor kernels (GEMM row-panels, conv/pool batch axes,
+//! large elementwise ops) funnel through [`parallel_for`], which fans a
+//! task range out over a process-wide pool of persistent worker threads.
+//! Design points:
+//!
+//! - **Sizing.** The pool size is `MEDSPLIT_THREADS` if set (clamped to
+//!   `1..=64`), otherwise [`std::thread::available_parallelism`]. It can
+//!   be changed at runtime with [`set_num_threads`] (the benchmark
+//!   harness sweeps it); workers are spawned lazily, so a process that
+//!   never runs with more than one thread never spawns any.
+//! - **Deterministic fallback.** With one thread, [`parallel_for`] runs
+//!   every task inline on the caller with no pool machinery at all. More
+//!   importantly, task *decomposition* is chosen by the kernels from
+//!   shapes alone (fixed panel/chunk sizes), never from the thread
+//!   count, and tasks write disjoint output regions — so results are
+//!   bit-identical across any `MEDSPLIT_THREADS` value.
+//! - **No nesting.** A task that itself calls [`parallel_for`] (e.g. a
+//!   per-image conv task invoking a GEMM) runs the inner range inline,
+//!   which avoids both deadlock and oversubscription while still
+//!   parallelising whichever level is outermost.
+//! - **Work distribution.** Tasks are claimed from a shared atomic
+//!   counter, so an uneven panel costs no idle time; the caller
+//!   participates instead of blocking. Jobs reach workers over the
+//!   vendored `crossbeam` MPMC channel.
+//!
+//! Safety: the dispatched closure reference is lifetime-erased to cross
+//! the channel, which is sound because [`parallel_for`] never returns
+//! (or unwinds) before every helper has finished the job — enforced by a
+//! drop guard around the completion latch.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Hard cap on the pool size; far above any host this targets.
+const MAX_THREADS: usize = 64;
+
+/// Configured thread count; 0 means "not yet resolved".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set on pool workers so nested `parallel_for` calls run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    match std::env::var("MEDSPLIT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(MAX_THREADS),
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_THREADS),
+    }
+}
+
+/// The number of threads parallel kernels currently target.
+///
+/// Resolved on first use from `MEDSPLIT_THREADS` (or the host's available
+/// parallelism) and changeable afterwards with [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let n = CONFIGURED.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let d = default_threads();
+    // Racing initialisers all compute the same value, so a plain CAS is
+    // enough; whoever loses just rereads.
+    let _ = CONFIGURED.compare_exchange(0, d, Ordering::Relaxed, Ordering::Relaxed);
+    CONFIGURED.load(Ordering::Relaxed)
+}
+
+/// Overrides the target thread count (clamped to `1..=64`).
+///
+/// Takes effect on the next [`parallel_for`] call; existing workers are
+/// kept (idle workers cost nothing), new ones are spawned on demand.
+pub fn set_num_threads(n: usize) {
+    CONFIGURED.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Shared state of one dispatched job.
+struct JobState {
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// One past the last task index.
+    total: usize,
+    /// Helpers that have not yet finished the job.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct Job {
+    /// Lifetime-erased reference to the task closure; sound because the
+    /// dispatching `parallel_for` is latched until every helper finished
+    /// (see module docs).
+    task: &'static (dyn Fn(usize) + Sync),
+    state: Arc<JobState>,
+}
+
+struct Pool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        Pool {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < want {
+        let rx = p.rx.clone();
+        let id = *spawned;
+        std::thread::Builder::new()
+            .name(format!("medsplit-worker-{id}"))
+            .spawn(move || worker_main(&rx))
+            .expect("failed to spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_main(rx: &Receiver<Job>) {
+    IN_WORKER.with(|f| f.set(true));
+    while let Ok(job) = rx.recv() {
+        run_tasks(job.task, &job.state);
+        let mut rem = job.state.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            job.state.done.notify_all();
+        }
+    }
+}
+
+/// Claims and runs tasks until the shared counter is exhausted.
+fn run_tasks(task: &(dyn Fn(usize) + Sync), state: &JobState) {
+    loop {
+        let t = state.next.fetch_add(1, Ordering::Relaxed);
+        if t >= state.total {
+            return;
+        }
+        if catch_unwind(AssertUnwindSafe(|| task(t))).is_err() {
+            state.panicked.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs `body(0), body(1), …, body(tasks - 1)` across the pool.
+///
+/// Tasks may run in any order and on any thread, so the body must only
+/// write state it owns (disjoint output regions); the call returns after
+/// every task has finished, with all task writes visible to the caller.
+/// With a target of one thread — or when called from inside another
+/// `parallel_for` task — the range runs inline on the current thread in
+/// ascending order.
+///
+/// # Panics
+///
+/// Propagates a panic if any task panicked (the original payload is
+/// replaced by a generic message on the multi-threaded path).
+pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, body: F) {
+    if tasks == 0 {
+        return;
+    }
+    let threads = num_threads().min(tasks);
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        for t in 0..tasks {
+            body(t);
+        }
+        return;
+    }
+    let p = pool();
+    let helpers = threads - 1;
+    ensure_workers(p, helpers);
+    let state = Arc::new(JobState {
+        next: AtomicUsize::new(0),
+        total: tasks,
+        remaining: Mutex::new(helpers),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let wide: &(dyn Fn(usize) + Sync) = &body;
+    // SAFETY: erases the borrow's lifetime; the latch below keeps the
+    // closure alive for every worker access (see module docs).
+    let task: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide) };
+    for _ in 0..helpers {
+        if p.tx
+            .send(Job {
+                task,
+                state: Arc::clone(&state),
+            })
+            .is_err()
+        {
+            panic!("pool channel closed");
+        }
+    }
+
+    /// Blocks until every helper finished — including during unwinding,
+    /// which is what makes the lifetime erasure above sound.
+    struct WaitGuard<'a>(&'a JobState);
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            let mut rem = self.0.remaining.lock().unwrap();
+            while *rem > 0 {
+                rem = self.0.done.wait(rem).unwrap();
+            }
+        }
+    }
+    let guard = WaitGuard(&state);
+    run_tasks(wide, &state);
+    drop(guard);
+    if state.panicked.load(Ordering::Relaxed) {
+        panic!("parallel_for: a task panicked");
+    }
+}
+
+/// Splits `data` into fixed-size chunks and runs `body(chunk_idx, chunk)`
+/// for each across the pool. The chunk size must not depend on the thread
+/// count if deterministic results are wanted (every kernel here passes a
+/// shape-derived constant).
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, or propagates task panics as
+/// [`parallel_for`] does.
+pub fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], chunk: usize, body: F) {
+    assert!(chunk > 0, "parallel_chunks_mut: zero chunk size");
+    let len = data.len();
+    let tasks = len.div_ceil(chunk);
+    let raw = RawSliceMut::new(data);
+    parallel_for(tasks, |t| {
+        let start = t * chunk;
+        let end = (start + chunk).min(len);
+        // SAFETY: tasks index disjoint `[start, end)` ranges.
+        body(t, unsafe { raw.slice(start, end) });
+    });
+}
+
+/// A `Send + Sync` wrapper around a mutable slice for kernels whose tasks
+/// write provably disjoint index ranges (e.g. one output plane per task).
+///
+/// Obtaining overlapping sub-slices from concurrent tasks is undefined
+/// behaviour; every use in this crate derives the ranges from the task
+/// index alone.
+pub(crate) struct RawSliceMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for RawSliceMut<T> {}
+unsafe impl<T: Send> Sync for RawSliceMut<T> {}
+
+impl<T> RawSliceMut<T> {
+    pub(crate) fn new(slice: &mut [T]) -> Self {
+        RawSliceMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Reborrows `[start, end)` mutably.
+    ///
+    /// # Safety
+    ///
+    /// No two live reborrows may overlap, and `start <= end <= len`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice(&self, start: usize, end: usize) -> &mut [T] {
+        debug_assert!(start <= end && end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate the global thread count.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inline_path_is_sequential_and_ordered() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(1);
+        let order = Mutex::new(Vec::new());
+        parallel_for(5, |t| order.lock().unwrap().push(t));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once_multithreaded() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(97, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        set_num_threads(1);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_cover_slice_disjointly() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(3);
+        let mut data = vec![0u32; 1000];
+        parallel_chunks_mut(&mut data, 64, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + idx as u32;
+            }
+        });
+        set_num_threads(1);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 64) as u32, "at {i}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        let total = AtomicUsize::new(0);
+        parallel_for(8, |_| {
+            // Inner call must not deadlock and must still run all tasks.
+            parallel_for(16, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        set_num_threads(1);
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(2);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            parallel_for(8, |t| {
+                if t == 3 {
+                    panic!("task boom");
+                }
+            });
+        }));
+        assert!(boom.is_err());
+        // The pool still works afterwards.
+        let n = AtomicUsize::new(0);
+        parallel_for(8, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        set_num_threads(1);
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn env_override_respects_bounds() {
+        // Not touching the env here (process-global); just the clamp.
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(10_000);
+        assert_eq!(num_threads(), MAX_THREADS);
+        set_num_threads(1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Correctness of the parallel packed compute backend.
+//!
+//! The worker pool's decomposition is derived from the problem shape, not
+//! the thread count, so every kernel is *bit-identical* across pool
+//! sizes — these tests pin that guarantee, compare the packed GEMM
+//! against an embedded copy of the seed repository's kernel, and assert
+//! the zero-steady-state-allocation property of the conv forward pass.
+//!
+//! `pool::set_num_threads` is process-global and the test harness runs
+//! tests concurrently, so every test here serialises on [`POOL_LOCK`]
+//! and restores one thread before releasing it.
+
+use std::sync::Mutex;
+
+use medsplit::core::{ComputeModel, Scheduling, SplitConfig, SplitPoint, SplitTrainer};
+use medsplit::data::{InMemoryDataset, MinibatchPolicy, SyntheticTabular};
+use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
+use medsplit::simnet::{MemoryTransport, StarTopology};
+use medsplit_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use medsplit_tensor::{init::rng_from_seed, pool, scratch, Tensor};
+use proptest::prelude::*;
+
+/// Serialises every test that changes the global pool size.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once per pool size, restoring a single thread afterwards.
+fn with_thread_counts<R>(counts: &[usize], mut body: impl FnMut(usize) -> R) -> Vec<R> {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let out = counts
+        .iter()
+        .map(|&t| {
+            pool::set_num_threads(t);
+            body(t)
+        })
+        .collect();
+    pool::set_num_threads(1);
+    out
+}
+
+/// The seed repository's GEMM: cache-blocked triple loop, including its
+/// `aval == 0.0` skip branch. The packed backend must reproduce it
+/// bit-for-bit at any thread count (the skip only elides exact zeros,
+/// whose contribution `0.0 * b` is `+0.0`, absorbed by `+=`).
+fn seed_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    const BLOCK: usize = 64;
+    let mut c = vec![0.0f32; m * n];
+    for ib in (0..m).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let kmax = (kb + BLOCK).min(k);
+            for i in ib..imax {
+                let crow = &mut c[i * n..(i + 1) * n];
+                for p in kb..kmax {
+                    let aval = a[i * k + p];
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..p * n + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aval * bv;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// GEMM dimension sweep: degenerate (1xN / Nx1), below, at, and past the
+/// 64-row panel and 128-deep K-block boundaries.
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    const INTERESTING: [usize; 13] = [1, 2, 3, 5, 9, 17, 63, 64, 65, 66, 127, 128, 130];
+    fn dim() -> impl Strategy<Value = usize> {
+        (0usize..INTERESTING.len()).prop_map(|i| INTERESTING[i])
+    }
+    (dim(), dim(), dim())
+}
+
+fn rand_mat(rng: &mut impl rand::Rng, r: usize, c: usize) -> Tensor {
+    Tensor::rand_uniform([r, c], -2.0, 2.0, rng)
+}
+
+proptest! {
+    /// matmul / matmul_tn / matmul_nt are bit-identical across pool
+    /// sizes (1, 2, and a deliberately odd 7) for arbitrary shapes.
+    #[test]
+    fn matmul_family_bit_identical_across_thread_counts((m, k, n) in gemm_dims()) {
+        let mut rng = rng_from_seed((m * 1_000_003 + k * 1009 + n) as u64);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        let at = rand_mat(&mut rng, k, m);
+        let bt = rand_mat(&mut rng, n, k);
+
+        let runs = with_thread_counts(&[1, 2, 7], |_| {
+            (
+                a.matmul(&b).unwrap(),
+                at.matmul_tn(&b).unwrap(),
+                a.matmul_nt(&bt).unwrap(),
+            )
+        });
+        let (r1, r2, r7) = (&runs[0], &runs[1], &runs[2]);
+        prop_assert_eq!(r1.0.as_slice(), r2.0.as_slice());
+        prop_assert_eq!(r1.0.as_slice(), r7.0.as_slice());
+        prop_assert_eq!(r1.1.as_slice(), r2.1.as_slice());
+        prop_assert_eq!(r1.1.as_slice(), r7.1.as_slice());
+        prop_assert_eq!(r1.2.as_slice(), r2.2.as_slice());
+        prop_assert_eq!(r1.2.as_slice(), r7.2.as_slice());
+    }
+
+    /// The packed GEMM agrees with the seed kernel: bit-identical on one
+    /// thread, and within 1e-5 elementwise at any pool size (the packed
+    /// path reorders no per-element accumulation, so this is exact too —
+    /// the tolerance is the documented public contract).
+    #[test]
+    fn packed_gemm_matches_seed_kernel((m, k, n) in gemm_dims()) {
+        let mut rng = rng_from_seed((m * 31 + k * 7 + n) as u64 ^ 0xA5A5);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        let reference = seed_gemm(a.as_slice(), b.as_slice(), m, k, n);
+
+        let runs = with_thread_counts(&[1, 2, 7], |_| a.matmul(&b).unwrap());
+        // One thread: bit-identical to the seed kernel.
+        prop_assert_eq!(runs[0].as_slice(), &reference[..]);
+        for out in &runs {
+            for (got, want) in out.as_slice().iter().zip(&reference) {
+                prop_assert!(
+                    (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                    "got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    /// Convolution forward and backward are bit-identical across pool
+    /// sizes, including shapes that don't tile the batch chunking evenly.
+    #[test]
+    fn conv2d_bit_identical_across_thread_counts(
+        n in 1usize..=5,
+        c in 1usize..=3,
+        o in 1usize..=4,
+        hw in 3usize..=7,
+    ) {
+        let mut rng = rng_from_seed((n * 71 + c * 13 + o * 5 + hw) as u64);
+        let input = Tensor::rand_uniform([n, c, hw, hw], -1.0, 1.0, &mut rng);
+        let weight = Tensor::rand_uniform([o, c, 3, 3], -0.5, 0.5, &mut rng);
+        let bias = Tensor::rand_uniform([o], -0.1, 0.1, &mut rng);
+        let spec = Conv2dSpec::square(3, 1, 1);
+
+        let runs = with_thread_counts(&[1, 2, 7], |_| {
+            let out = conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+            let grad_out = out.scale(0.5);
+            let (gi, gw, gb) =
+                conv2d_backward(&input, &weight, &grad_out, spec).unwrap();
+            (out, gi, gw, gb)
+        });
+        for other in &runs[1..] {
+            prop_assert_eq!(runs[0].0.as_slice(), other.0.as_slice());
+            prop_assert_eq!(runs[0].1.as_slice(), other.1.as_slice());
+            prop_assert_eq!(runs[0].2.as_slice(), other.2.as_slice());
+            prop_assert_eq!(runs[0].3.as_slice(), other.3.as_slice());
+        }
+    }
+}
+
+/// Conv forward allocates nothing per step once the thread-local scratch
+/// arena is warm (single-thread pool so the warmup lands on one arena).
+#[test]
+fn conv_forward_zero_allocations_after_warmup() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    pool::set_num_threads(1);
+
+    let mut rng = rng_from_seed(99);
+    let input = Tensor::rand_uniform([2, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([8, 3, 3, 3], -0.5, 0.5, &mut rng);
+    let bias = Tensor::rand_uniform([8], -0.1, 0.1, &mut rng);
+    let spec = Conv2dSpec::square(3, 1, 1);
+
+    // Warm the arena.
+    for _ in 0..2 {
+        conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+    }
+    let before = scratch::stats();
+    for _ in 0..10 {
+        conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+    }
+    let after = scratch::stats();
+    assert_eq!(
+        after.allocations, before.allocations,
+        "conv forward grew the scratch arena after warmup"
+    );
+    assert_eq!(after.allocated_bytes, before.allocated_bytes);
+    assert!(
+        after.acquisitions > before.acquisitions,
+        "conv forward stopped using the scratch arena"
+    );
+}
+
+/// One full split-training run at 4 threads reproduces the 1-thread loss
+/// trajectory. The backend's decomposition is shape-derived, so this
+/// holds exactly, not just within tolerance.
+#[test]
+fn split_training_round_deterministic_across_thread_counts() {
+    fn run_split() -> Vec<f32> {
+        let all = SyntheticTabular::new(3, 6, 5).generate(60).unwrap();
+        let train: InMemoryDataset = all.subset(&(0..48).collect::<Vec<_>>()).unwrap();
+        let test = all.subset(&(48..60).collect::<Vec<_>>()).unwrap();
+        let arch = Architecture::Mlp(MlpConfig {
+            input_dim: 6,
+            hidden: vec![16, 8],
+            num_classes: 3,
+        });
+        let transport = MemoryTransport::new(StarTopology::new(1));
+        let config = SplitConfig {
+            split: SplitPoint::Default,
+            scheduling: Scheduling::Aggregate,
+            minibatch: MinibatchPolicy::Fixed(8),
+            lr: LrSchedule::Constant(0.1),
+            momentum: 0.9,
+            rounds: 3,
+            eval_every: 0,
+            seed: 21,
+            compute: ComputeModel::off(),
+            ..SplitConfig::default()
+        };
+        let mut trainer = SplitTrainer::new(&arch, config, vec![train], test, &transport).unwrap();
+        let history = trainer.run().unwrap();
+        history.records.iter().map(|r| r.mean_loss).collect()
+    }
+
+    let runs = with_thread_counts(&[1, 4], |_| run_split());
+    assert_eq!(
+        runs[0], runs[1],
+        "split training diverged between 1 and 4 threads"
+    );
+}
