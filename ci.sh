@@ -19,4 +19,11 @@ echo "==> kernel_bench --smoke"
 MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
 
+echo "==> trace_report --smoke"
+# Traced tiny split-training run: dumps a JSONL trace, re-loads it, and
+# asserts the expected span names, non-zero per-kind wire counters, and
+# per-round phase shares summing to ~100%.
+MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release --offline -p medsplit-bench --bin trace_report -- --smoke
+
 echo "ci.sh: all green"

@@ -69,9 +69,22 @@ impl TrainingHistory {
     }
 
     /// Renders the history as CSV
-    /// (`method,round,lr,loss,bytes,time_s,wall_s,accuracy`).
+    /// (`method,round,lr,loss,bytes,simulated_s,wall_s,accuracy`).
+    ///
+    /// Two easily confused time columns, both cumulative-vs-per-round
+    /// asymmetric on purpose:
+    ///
+    /// - `simulated_s` — [`RoundRecord::simulated_time_s`]: the modelled
+    ///   geo-distributed makespan on the simulated clock *after* this
+    ///   round (cumulative). This is the time axis the paper's figures
+    ///   use; it depends only on link specs, message sizes, and the
+    ///   compute model — never on the host.
+    /// - `wall_s` — [`RoundRecord::wall_time_s`]: real host seconds spent
+    ///   computing *this* round (per-round, not cumulative). This is what
+    ///   kernel optimisations speed up and what `trace_report` breaks
+    ///   down by phase; it says nothing about WAN behaviour.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("method,round,lr,loss,bytes,time_s,wall_s,accuracy\n");
+        let mut out = String::from("method,round,lr,loss,bytes,simulated_s,wall_s,accuracy\n");
         for r in &self.records {
             let acc = r.accuracy.map_or(String::new(), |a| format!("{a:.4}"));
             out.push_str(&format!(
@@ -117,6 +130,7 @@ mod tests {
                 total_bytes: 400,
                 messages: 10,
                 by_kind: vec![],
+                msgs_by_kind: vec![],
                 uplink_bytes: 250,
                 downlink_bytes: 150,
                 makespan_s: 3.0,
@@ -152,7 +166,7 @@ mod tests {
         let csv = history().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
-        assert!(lines[0].starts_with("method,round"));
+        assert_eq!(lines[0], "method,round,lr,loss,bytes,simulated_s,wall_s,accuracy");
         assert!(lines[1].starts_with("split,0,"));
         // Non-eval rounds leave the accuracy column empty.
         assert!(lines[2].ends_with(','));

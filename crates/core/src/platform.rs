@@ -157,6 +157,7 @@ impl Platform {
     ///
     /// Propagates tensor errors from the forward pass.
     pub fn start_round(&mut self, round: u64) -> Result<Envelope> {
+        let _span = medsplit_telemetry::span_round("l1_forward", round);
         let (features, labels) = self.sampler.next_from(&self.data);
         self.samples_seen += labels.len() as u64;
         let acts = self.model.forward(&features, Mode::Train)?;
@@ -181,6 +182,7 @@ impl Platform {
     /// Returns a protocol error if no round is in flight or the logits
     /// batch does not match the retained labels.
     pub fn handle_logits(&mut self, env: &Envelope) -> Result<(Envelope, f32)> {
+        let _span = medsplit_telemetry::span_round("loss_grad", env.round);
         let logits = decode_tensor(env, MessageKind::Logits)?;
         let labels = self.pending_labels.as_ref().ok_or_else(|| {
             SplitError::Protocol(format!("platform {} got logits with no round in flight", self.id))
@@ -212,6 +214,7 @@ impl Platform {
     ///
     /// Returns a protocol error if no round is in flight.
     pub fn handle_cut_grads(&mut self, env: &Envelope) -> Result<()> {
+        let _span = medsplit_telemetry::span_round("l1_backward", env.round);
         let grads = decode_tensor(env, MessageKind::CutGrads)?;
         if self.pending_labels.take().is_none() {
             return Err(SplitError::Protocol(format!(

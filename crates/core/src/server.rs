@@ -137,6 +137,7 @@ impl SplitServer {
             return Err(SplitError::Protocol("aggregate round with no activations".into()));
         }
         let round = acts[0].round;
+        let _span = medsplit_telemetry::span_round("server_fwd_bwd", round);
         let mut decoded: Vec<(usize, Tensor)> = Vec::with_capacity(acts.len());
         for env in acts {
             let pid = sender_platform(env)?;
@@ -180,6 +181,10 @@ impl SplitServer {
     /// Returns protocol errors if the senders or batch sizes do not match
     /// the in-flight layout.
     pub fn aggregate_backward(&mut self, grads: &[Envelope]) -> Result<Vec<Envelope>> {
+        let _span = match grads.first() {
+            Some(g) => medsplit_telemetry::span_round("server_fwd_bwd", g.round),
+            None => medsplit_telemetry::span("server_fwd_bwd"),
+        };
         if self.layout.is_empty() {
             return Err(SplitError::Protocol(
                 "aggregate backward with no forward in flight".into(),
@@ -246,6 +251,7 @@ impl SplitServer {
     ///
     /// Returns protocol errors if another exchange is in flight.
     pub fn platform_forward(&mut self, env: &Envelope) -> Result<Envelope> {
+        let _span = medsplit_telemetry::span_round("server_fwd_bwd", env.round);
         if let Some(p) = self.in_flight {
             return Err(SplitError::Protocol(format!(
                 "platform {p} exchange still in flight"
@@ -274,6 +280,7 @@ impl SplitServer {
     /// Returns protocol errors if the sender does not match the in-flight
     /// platform.
     pub fn platform_backward(&mut self, env: &Envelope) -> Result<Envelope> {
+        let _span = medsplit_telemetry::span_round("server_fwd_bwd", env.round);
         let pid = sender_platform(env)?;
         match self.in_flight.take() {
             Some(p) if p == pid => {}

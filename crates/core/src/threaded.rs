@@ -63,6 +63,7 @@ fn platform_loop<T: Transport>(
     let node = platform.node();
     let mut losses = Vec::with_capacity(config.rounds);
     for round in 0..config.rounds {
+        let _span = medsplit_telemetry::span_round("round", round as u64);
         platform.set_lr(config.lr.lr_at(round));
         let acts = platform.start_round(round as u64)?;
         transport.send(acts)?;

@@ -144,6 +144,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
     ///
     /// Propagates tensor errors.
     pub fn evaluate(&mut self) -> Result<f32> {
+        let _span = medsplit_telemetry::span("evaluate");
         const EVAL_BATCH: usize = 64;
         let mut total = 0.0;
         for platform in &mut self.platforms {
@@ -174,6 +175,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
     pub fn run(&mut self) -> Result<TrainingHistory> {
         let mut records = Vec::with_capacity(self.config.rounds);
         for round in 0..self.config.rounds {
+            let mut round_span = medsplit_telemetry::span_round("round", round as u64);
             let round_start = std::time::Instant::now();
             let lr = self.config.lr.lr_at(round);
             for p in &mut self.platforms {
@@ -190,6 +192,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
             let eval_due = self.config.eval_every > 0 && (round + 1) % self.config.eval_every == 0;
             let accuracy = if eval_due { Some(self.evaluate()?) } else { None };
             let snap = self.transport.stats().snapshot();
+            round_span.set_sim_s(snap.makespan_s);
             records.push(RoundRecord {
                 round,
                 lr,

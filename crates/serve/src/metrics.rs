@@ -2,16 +2,7 @@
 
 use crate::wire::InferStatus;
 
-/// Nearest-rank percentile (`p` in `[0, 100]`) of a sorted, non-empty
-/// sample slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+use medsplit_telemetry::percentile;
 
 /// Order statistics of a latency sample set, in seconds.
 #[derive(Debug, Clone, PartialEq)]

@@ -380,6 +380,7 @@ fn server_loop<T: Transport>(
                 }
             }
             Admission::Rejected => {
+                medsplit_telemetry::counter_add("serve.rejections", 1);
                 // Backpressure is explicit: the client gets an answer
                 // rather than a silent drop.
                 sync_server_clock(transport, sim_now);
@@ -446,10 +447,19 @@ fn serve_batch<T: Transport>(
 
     // One forward pass over the concatenated batch, then per-request
     // slices — the same aggregate pattern as training.
+    medsplit_telemetry::histogram_observe(
+        "serve.batch_size",
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        live.len() as f64,
+    );
+    let assemble = medsplit_telemetry::span("batch_assemble");
     let tensors: Vec<Tensor> = live.iter().map(|e| e.item.activations.clone()).collect();
     let rows: Vec<usize> = tensors.iter().map(|t| t.dims()[0]).collect();
     let batch = Tensor::concat0(&tensors)?;
+    drop(assemble);
+    let infer = medsplit_telemetry::span("batch_infer");
     let logits = server.infer(&batch)?;
+    drop(infer);
     let mut offset = 0;
     for (entry, n) in live.into_iter().zip(rows) {
         let slice = logits.slice0(offset, n)?;

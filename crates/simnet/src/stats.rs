@@ -21,6 +21,7 @@ struct StatsInner {
     total_bytes: u64,
     messages: u64,
     by_kind: HashMap<MessageKind, u64>,
+    msgs_by_kind: HashMap<MessageKind, u64>,
     uplink_bytes: u64,
     downlink_bytes: u64,
     clocks: HashMap<NodeId, f64>,
@@ -41,6 +42,8 @@ pub struct StatsSnapshot {
     pub messages: u64,
     /// Wire bytes per message kind.
     pub by_kind: Vec<(MessageKind, u64)>,
+    /// Message counts per message kind.
+    pub msgs_by_kind: Vec<(MessageKind, u64)>,
     /// Bytes sent platform → server.
     pub uplink_bytes: u64,
     /// Bytes sent server → platform.
@@ -56,6 +59,15 @@ impl StatsSnapshot {
             .iter()
             .find(|(k, _)| *k == kind)
             .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// Message count for one kind (0 if absent).
+    pub fn messages_of(&self, kind: MessageKind) -> u64 {
+        self.msgs_by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, n)| *n)
             .unwrap_or(0)
     }
 
@@ -80,6 +92,14 @@ impl NetStats {
         inner.total_bytes += bytes;
         inner.messages += 1;
         *inner.by_kind.entry(env.kind).or_insert(0) += bytes;
+        *inner.msgs_by_kind.entry(env.kind).or_insert(0) += 1;
+        if medsplit_telemetry::enabled() {
+            // Feed protocol-phase byte attribution into the telemetry
+            // registry (names match the paper's four-message model plus
+            // the auxiliary kinds).
+            medsplit_telemetry::counter_add(&format!("net.bytes.{}", env.kind.as_str()), bytes);
+            medsplit_telemetry::counter_add(&format!("net.msgs.{}", env.kind.as_str()), 1);
+        }
         match (env.src, env.dst) {
             (NodeId::Platform(_), NodeId::Server) => inner.uplink_bytes += bytes,
             (NodeId::Server, NodeId::Platform(_)) => inner.downlink_bytes += bytes,
@@ -118,10 +138,14 @@ impl NetStats {
         let inner = self.inner.lock();
         let mut by_kind: Vec<(MessageKind, u64)> = inner.by_kind.iter().map(|(k, v)| (*k, *v)).collect();
         by_kind.sort_by_key(|(k, _)| *k);
+        let mut msgs_by_kind: Vec<(MessageKind, u64)> =
+            inner.msgs_by_kind.iter().map(|(k, v)| (*k, *v)).collect();
+        msgs_by_kind.sort_by_key(|(k, _)| *k);
         StatsSnapshot {
             total_bytes: inner.total_bytes,
             messages: inner.messages,
             by_kind,
+            msgs_by_kind,
             uplink_bytes: inner.uplink_bytes,
             downlink_bytes: inner.downlink_bytes,
             makespan_s: inner.clocks.values().copied().fold(0.0, f64::max),
@@ -153,6 +177,9 @@ mod tests {
         assert_eq!(snap.bytes_of(MessageKind::Activations), 164);
         assert_eq!(snap.bytes_of(MessageKind::Logits), 100);
         assert_eq!(snap.bytes_of(MessageKind::CutGrads), 0);
+        assert_eq!(snap.messages_of(MessageKind::Activations), 1);
+        assert_eq!(snap.messages_of(MessageKind::Logits), 1);
+        assert_eq!(snap.messages_of(MessageKind::CutGrads), 0);
     }
 
     #[test]

@@ -1,0 +1,594 @@
+//! Trace and metric exporters: JSONL dump/parse (hand-rolled, std-only),
+//! a Prometheus-style text dump, and a human-readable aggregate table.
+//!
+//! ## JSONL schema
+//!
+//! One flat JSON object per line, discriminated by a `"t"` field:
+//!
+//! ```text
+//! {"t":"span","name":"gemm","tid":2,"id":17,"parent":16,"start_ns":1200,"dur_ns":540,"round":3,"sim_s":1.25}
+//! {"t":"counter","name":"net.bytes.activations","value":1048576}
+//! {"t":"gauge","name":"scratch.allocated_bytes","value":262144.0}
+//! {"t":"hist","name":"serve.batch_size","bounds":[1,2,4],"buckets":[0,3,1,0],"count":4,"sum":11}
+//! ```
+//!
+//! `parent`, `round`, and `sim_s` are omitted when absent. The parser
+//! accepts the same schema back (unknown fields are ignored), so a trace
+//! written by one process can be aggregated by `trace_report` in another.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use crate::metrics::{snapshot_metrics, MetricSnapshot};
+use crate::span::{drain_spans, SpanRecord};
+
+/// Everything a trace file holds: spans plus metric snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Finished spans, in file order.
+    pub spans: Vec<SpanRecord>,
+    /// Metric snapshots, in file order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Trace {
+    /// Captures the current process state: drains all buffered spans and
+    /// snapshots all registered metrics.
+    pub fn capture() -> Trace {
+        Trace {
+            spans: drain_spans(),
+            metrics: snapshot_metrics(),
+        }
+    }
+
+    /// Sum of all values of counters whose name starts with `prefix`.
+    pub fn counter_total(&self, prefix: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter_map(|m| match m {
+                MetricSnapshot::Counter { name, value } if name.starts_with(prefix) => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a trace to JSONL (one object per line, spans first).
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for s in &trace.spans {
+        let _ = write!(
+            out,
+            "{{\"t\":\"span\",\"name\":\"{}\",\"tid\":{},\"id\":{},",
+            escape_json(&s.name),
+            s.tid,
+            s.id
+        );
+        if let Some(p) = s.parent {
+            let _ = write!(out, "\"parent\":{p},");
+        }
+        let _ = write!(out, "\"start_ns\":{},\"dur_ns\":{}", s.start_ns, s.dur_ns);
+        if let Some(r) = s.round {
+            let _ = write!(out, ",\"round\":{r}");
+        }
+        if let Some(sim) = s.sim_s {
+            let _ = write!(out, ",\"sim_s\":{}", fmt_f64(sim));
+        }
+        out.push_str("}\n");
+    }
+    for m in &trace.metrics {
+        match m {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                    escape_json(name)
+                );
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                    escape_json(name),
+                    fmt_f64(*value)
+                );
+            }
+            MetricSnapshot::Histogram {
+                name,
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                let bounds_s: Vec<String> = bounds.iter().map(|b| fmt_f64(*b)).collect();
+                let buckets_s: Vec<String> = buckets.iter().map(|b| b.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"hist\",\"name\":\"{}\",\"bounds\":[{}],\"buckets\":[{}],\"count\":{count},\"sum\":{}}}",
+                    escape_json(name),
+                    bounds_s.join(","),
+                    buckets_s.join(","),
+                    fmt_f64(*sum)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A parsed flat-JSON value (the subset the trace schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(f64),
+    Str(String),
+    Arr(Vec<f64>),
+}
+
+impl Val {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::Num(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Val::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string, number, and numeric-array values
+/// only — the full trace schema). Returns `None` on malformed input.
+fn parse_flat_object(line: &str) -> Option<HashMap<String, Val>> {
+    let bytes = line.trim().as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return None;
+    }
+    let mut out = HashMap::new();
+    let mut i = 1usize;
+    let end = bytes.len() - 1;
+    let skip_ws = |i: &mut usize| {
+        while *i < end && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    loop {
+        skip_ws(&mut i);
+        if i >= end {
+            break;
+        }
+        // Key.
+        if bytes[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let key_start = i;
+        while i < end && bytes[i] != b'"' {
+            if bytes[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        let key = unescape(&line[key_start..i])?;
+        i += 1; // closing quote
+        skip_ws(&mut i);
+        if i >= end || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        // Value.
+        let val = if bytes[i] == b'"' {
+            i += 1;
+            let vs = i;
+            while i < end && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            let v = Val::Str(unescape(&line[vs..i])?);
+            i += 1;
+            v
+        } else if bytes[i] == b'[' {
+            i += 1;
+            let vs = i;
+            while i < end && bytes[i] != b']' {
+                i += 1;
+            }
+            let body = line[vs..i].trim();
+            let mut arr = Vec::new();
+            if !body.is_empty() {
+                for part in body.split(',') {
+                    arr.push(part.trim().parse::<f64>().ok()?);
+                }
+            }
+            i += 1;
+            Val::Arr(arr)
+        } else {
+            let vs = i;
+            while i < end && bytes[i] != b',' {
+                i += 1;
+            }
+            let body = line[vs..i].trim();
+            if body == "null" {
+                // Tolerated, but the writer never emits it; skip the key.
+                skip_ws(&mut i);
+                if i < end && bytes[i] == b',' {
+                    i += 1;
+                }
+                continue;
+            }
+            Val::Num(body.parse::<f64>().ok()?)
+        };
+        out.insert(key, val);
+        skip_ws(&mut i);
+        if i < end && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+fn unescape(s: &str) -> Option<String> {
+    if !s.contains('\\') {
+        return Some(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            other => out.push(other),
+        }
+    }
+    Some(out)
+}
+
+/// Parses a JSONL trace produced by [`to_jsonl`]. Malformed or unknown
+/// lines are skipped rather than failing the whole file.
+pub fn from_jsonl(text: &str) -> Trace {
+    let mut trace = Trace::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(obj) = parse_flat_object(line) else {
+            continue;
+        };
+        let Some(t) = obj.get("t").and_then(Val::as_str) else {
+            continue;
+        };
+        let name = match obj.get("name").and_then(Val::as_str) {
+            Some(n) => n.to_owned(),
+            None => continue,
+        };
+        match t {
+            "span" => {
+                trace.spans.push(SpanRecord {
+                    name,
+                    tid: obj.get("tid").and_then(Val::as_u64).unwrap_or(0),
+                    id: obj.get("id").and_then(Val::as_u64).unwrap_or(0),
+                    parent: obj.get("parent").and_then(Val::as_u64),
+                    start_ns: obj.get("start_ns").and_then(Val::as_u64).unwrap_or(0),
+                    dur_ns: obj.get("dur_ns").and_then(Val::as_u64).unwrap_or(0),
+                    round: obj.get("round").and_then(Val::as_u64),
+                    sim_s: obj.get("sim_s").and_then(Val::as_f64),
+                });
+            }
+            "counter" => {
+                trace.metrics.push(MetricSnapshot::Counter {
+                    name,
+                    value: obj.get("value").and_then(Val::as_u64).unwrap_or(0),
+                });
+            }
+            "gauge" => {
+                trace.metrics.push(MetricSnapshot::Gauge {
+                    name,
+                    value: obj.get("value").and_then(Val::as_f64).unwrap_or(0.0),
+                });
+            }
+            "hist" => {
+                let bounds = match obj.get("bounds") {
+                    Some(Val::Arr(a)) => a.clone(),
+                    _ => Vec::new(),
+                };
+                let buckets = match obj.get("buckets") {
+                    Some(Val::Arr(a)) => a.iter().map(|v| *v as u64).collect(),
+                    _ => Vec::new(),
+                };
+                trace.metrics.push(MetricSnapshot::Histogram {
+                    name,
+                    bounds,
+                    buckets,
+                    count: obj.get("count").and_then(Val::as_u64).unwrap_or(0),
+                    sum: obj.get("sum").and_then(Val::as_f64).unwrap_or(0.0),
+                });
+            }
+            _ => {}
+        }
+    }
+    trace
+}
+
+/// Renders the metric snapshots in a Prometheus-style text format
+/// (`name value`, histograms as `name_bucket{le="..."} count` series).
+pub fn to_prometheus(trace: &Trace) -> String {
+    let sanitize = |name: &str| name.replace(['.', '-', '/'], "_");
+    let mut out = String::new();
+    for m in &trace.metrics {
+        match m {
+            MetricSnapshot::Counter { name, value } => {
+                let n = sanitize(name);
+                let _ = writeln!(out, "# TYPE {n} counter");
+                let _ = writeln!(out, "{n} {value}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let n = sanitize(name);
+                let _ = writeln!(out, "# TYPE {n} gauge");
+                let _ = writeln!(out, "{n} {value}");
+            }
+            MetricSnapshot::Histogram {
+                name,
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                let n = sanitize(name);
+                let _ = writeln!(out, "# TYPE {n} histogram");
+                let mut cumulative = 0u64;
+                for (bound, bucket) in bounds.iter().zip(buckets.iter()) {
+                    cumulative += bucket;
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{n}_sum {sum}");
+                let _ = writeln!(out, "{n}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAggregate {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations (includes time spent in child spans).
+    pub total_ns: u64,
+    /// Sum of durations minus time covered by direct child spans.
+    pub self_ns: u64,
+}
+
+/// Aggregates spans by name: call count, total time, and self time
+/// (total minus the duration of direct children), sorted by descending
+/// self time.
+pub fn aggregate_spans(spans: &[SpanRecord]) -> Vec<SpanAggregate> {
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for s in spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_default() += s.dur_ns;
+        }
+    }
+    let mut agg: HashMap<&str, SpanAggregate> = HashMap::new();
+    for s in spans {
+        let e = agg.entry(&s.name).or_insert_with(|| SpanAggregate {
+            name: s.name.clone(),
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+        });
+        e.count += 1;
+        e.total_ns += s.dur_ns;
+        e.self_ns += s.dur_ns.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+    }
+    let mut out: Vec<SpanAggregate> = agg.into_values().collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// Renders the aggregate table as aligned human-readable text.
+pub fn aggregate_table(spans: &[SpanRecord]) -> String {
+    let aggs = aggregate_spans(spans);
+    let total_self: u64 = aggs.iter().map(|a| a.self_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>8} {:>12} {:>12} {:>7}",
+        "span", "calls", "total_ms", "self_ms", "self%"
+    );
+    for a in &aggs {
+        let share = if total_self > 0 {
+            100.0 * a.self_ns as f64 / total_self as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            a.name,
+            a.count,
+            a.total_ns as f64 / 1e6,
+            a.self_ns as f64 / 1e6,
+            share
+        );
+    }
+    out
+}
+
+/// Writes a trace as JSONL to `path`.
+pub fn write_jsonl(trace: &Trace, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(to_jsonl(trace).as_bytes())?;
+    w.flush()
+}
+
+/// Captures the process trace and writes it to the file named by
+/// `MEDSPLIT_TRACE_FILE` (default `trace.jsonl` in the working
+/// directory). Does nothing and returns `Ok(None)` when telemetry is
+/// disabled; otherwise returns the path written.
+pub fn write_configured() -> std::io::Result<Option<std::path::PathBuf>> {
+    if !crate::enabled() {
+        return Ok(None);
+    }
+    let path = std::env::var("MEDSPLIT_TRACE_FILE").unwrap_or_else(|_| "trace.jsonl".to_owned());
+    let path = std::path::PathBuf::from(path);
+    write_jsonl(&Trace::capture(), &path)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    name: "round".into(),
+                    tid: 0,
+                    id: 1,
+                    parent: None,
+                    start_ns: 100,
+                    dur_ns: 1000,
+                    round: Some(0),
+                    sim_s: Some(2.5),
+                },
+                SpanRecord {
+                    name: "gemm".into(),
+                    tid: 0,
+                    id: 2,
+                    parent: Some(1),
+                    start_ns: 200,
+                    dur_ns: 400,
+                    round: None,
+                    sim_s: None,
+                },
+            ],
+            metrics: vec![
+                MetricSnapshot::Counter {
+                    name: "net.bytes.activations".into(),
+                    value: 4096,
+                },
+                MetricSnapshot::Gauge {
+                    name: "scratch.allocated_bytes".into(),
+                    value: 1024.0,
+                },
+                MetricSnapshot::Histogram {
+                    name: "serve.batch_size".into(),
+                    bounds: vec![1.0, 4.0],
+                    buckets: vec![1, 2, 0],
+                    count: 3,
+                    sum: 7.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let text = to_jsonl(&trace);
+        let parsed = from_jsonl(&text);
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parser_skips_malformed_and_unknown_lines() {
+        let text = "not json\n{\"t\":\"mystery\",\"name\":\"x\"}\n\n{\"t\":\"counter\",\"name\":\"ok\",\"value\":7}\n";
+        let parsed = from_jsonl(text);
+        assert_eq!(parsed.spans.len(), 0);
+        assert_eq!(
+            parsed.metrics,
+            vec![MetricSnapshot::Counter {
+                name: "ok".into(),
+                value: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn aggregate_computes_self_time() {
+        let trace = sample_trace();
+        let aggs = aggregate_spans(&trace.spans);
+        let round = aggs.iter().find(|a| a.name == "round").unwrap();
+        let gemm = aggs.iter().find(|a| a.name == "gemm").unwrap();
+        assert_eq!(round.total_ns, 1000);
+        assert_eq!(round.self_ns, 600, "child gemm time subtracted");
+        assert_eq!(gemm.self_ns, 400);
+        let table = aggregate_table(&trace.spans);
+        assert!(table.contains("round"));
+        assert!(table.contains("gemm"));
+    }
+
+    #[test]
+    fn prometheus_export_has_expected_series() {
+        let text = to_prometheus(&sample_trace());
+        assert!(text.contains("net_bytes_activations 4096"));
+        assert!(text.contains("# TYPE serve_batch_size histogram"));
+        assert!(text.contains("serve_batch_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_batch_size_sum 7"));
+    }
+
+    #[test]
+    fn counter_total_sums_by_prefix() {
+        let mut trace = sample_trace();
+        trace.metrics.push(MetricSnapshot::Counter {
+            name: "net.bytes.logits".into(),
+            value: 1000,
+        });
+        assert_eq!(trace.counter_total("net.bytes."), 5096);
+        assert_eq!(trace.counter_total("net.msgs."), 0);
+    }
+}

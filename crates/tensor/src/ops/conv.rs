@@ -238,6 +238,7 @@ pub fn conv2d_forward(
         }
     }
     let (oh, ow) = spec.output_hw(h, w)?;
+    let _span = medsplit_telemetry::span("conv_fwd");
     let rows = c * kh * kw;
     let ncols = oh * ow;
     // OIHW weights are row-major, so the `[O, C*KH*KW]` filter matrix is
@@ -297,6 +298,7 @@ pub fn conv2d_backward(
             op: "conv2d_backward",
         });
     }
+    let _span = medsplit_telemetry::span("conv_bwd");
     let rows = c * kh * kw;
     let ncols = oh * ow;
     let wmat = weight.as_slice();

@@ -200,6 +200,7 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        let _span = medsplit_telemetry::span("gemm");
         let mut out = Tensor::zeros([m, n]);
         gemm_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k1, n);
         Ok(out)
@@ -221,6 +222,7 @@ impl Tensor {
                 op: "matmul_tn",
             });
         }
+        let _span = medsplit_telemetry::span("gemm");
         let mut out = Tensor::zeros([m, n]);
         gemm_tn_into(self.as_slice(), other.as_slice(), out.as_mut_slice(), k1, m, n);
         Ok(out)
@@ -242,6 +244,7 @@ impl Tensor {
                 op: "matmul_nt",
             });
         }
+        let _span = medsplit_telemetry::span("gemm");
         let mut out = Tensor::zeros([m, n]);
         gemm_nt_into(
             self.as_slice(),

@@ -189,6 +189,9 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, body: F) {
     let p = pool();
     let helpers = threads - 1;
     ensure_workers(p, helpers);
+    medsplit_telemetry::counter_add("pool.jobs", 1);
+    medsplit_telemetry::counter_add("pool.tasks", tasks as u64);
+    medsplit_telemetry::gauge_set_max("pool.queue_depth", tasks as f64);
     let state = Arc::new(JobState {
         next: AtomicUsize::new(0),
         total: tasks,

@@ -71,6 +71,10 @@ pub fn with_f32<R>(len: usize, body: impl FnOnce(&mut [f32]) -> R) -> R {
             Ordering::Relaxed,
         );
         buf.reserve(len - buf.len());
+        medsplit_telemetry::gauge_set(
+            "scratch.allocated_bytes",
+            ALLOCATED_BYTES.load(Ordering::Relaxed) as f64,
+        );
     }
     buf.resize(len, 0.0);
     let result = body(&mut buf[..len]);

@@ -61,5 +61,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history.stats.total_bytes,
         history.stats.messages
     );
+    // Where the bytes went: the paper's four-message protocol, by kind.
+    println!("\nkind         messages  bytes");
+    for (kind, bytes) in &history.stats.by_kind {
+        println!(
+            "{:<12} {:>8}  {}",
+            kind.as_str(),
+            history.stats.messages_of(*kind),
+            bytes
+        );
+    }
+    // With MEDSPLIT_TRACE=1 this dumps the run's spans and counters to
+    // trace.jsonl (or $MEDSPLIT_TRACE_FILE) for `trace_report`; without
+    // it, tracing is off and this is a no-op returning None.
+    if let Some(path) = medsplit::telemetry::write_configured()? {
+        println!("\ntrace written to {}", path.display());
+    }
     Ok(())
 }

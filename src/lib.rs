@@ -21,7 +21,9 @@
 //! - [`privacy`] — leakage metrics and reconstruction attacks
 //!   ([`medsplit_privacy`]),
 //! - [`serve`] — split-inference serving with dynamic batching, admission
-//!   control and latency accounting ([`medsplit_serve`]).
+//!   control and latency accounting ([`medsplit_serve`]),
+//! - [`telemetry`] — tracing spans, the metrics registry and trace
+//!   exporters; off until `MEDSPLIT_TRACE=1` ([`medsplit_telemetry`]).
 //!
 //! ## Quickstart
 //!
@@ -58,4 +60,5 @@ pub use medsplit_nn as nn;
 pub use medsplit_privacy as privacy;
 pub use medsplit_serve as serve;
 pub use medsplit_simnet as simnet;
+pub use medsplit_telemetry as telemetry;
 pub use medsplit_tensor as tensor;

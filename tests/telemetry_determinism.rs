@@ -1,0 +1,110 @@
+//! The telemetry determinism guard: training results must be
+//! bit-identical with tracing on and off.
+//!
+//! Telemetry only reads clocks and pushes records — it must never touch
+//! RNG state, model parameters, or the simulated network. This test runs
+//! the same 4-platform split-training configuration twice in one process
+//! (tracing force-enabled, then force-disabled) and asserts every
+//! deterministic output matches to the bit: per-round losses, accuracy,
+//! byte/message accounting, and the learned `L1` parameters.
+//!
+//! `wall_time_s` is excluded (host timing is never deterministic); the
+//! enable flag is process-global, which is why this guard lives in its
+//! own integration-test binary.
+
+use medsplit::core::{SplitConfig, SplitTrainer, TrainingHistory};
+use medsplit::data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
+use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
+use medsplit::simnet::{MemoryTransport, StarTopology};
+use medsplit::tensor::Tensor;
+
+const PLATFORMS: usize = 4;
+const ROUNDS: usize = 6;
+
+fn run_once() -> (TrainingHistory, Vec<Tensor>) {
+    let arch = Architecture::Mlp(MlpConfig {
+        input_dim: 8,
+        hidden: vec![16],
+        num_classes: 3,
+    });
+    let all = SyntheticTabular::new(3, 8, 0).generate(160).unwrap();
+    let train = all.subset(&(0..128).collect::<Vec<_>>()).unwrap();
+    let test = all.subset(&(128..160).collect::<Vec<_>>()).unwrap();
+    let shards = partition(&train, PLATFORMS, &Partition::Iid, 1).unwrap();
+    let transport = MemoryTransport::new(StarTopology::new(PLATFORMS));
+    let config = SplitConfig {
+        rounds: ROUNDS,
+        eval_every: 3,
+        lr: LrSchedule::Constant(0.1),
+        minibatch: MinibatchPolicy::Fixed(8),
+        ..SplitConfig::default()
+    };
+    let mut trainer = SplitTrainer::new(&arch, config, shards, test, &transport).unwrap();
+    let history = trainer.run().unwrap();
+    let params: Vec<Tensor> = trainer
+        .platforms_mut()
+        .iter_mut()
+        .map(|p| p.l1_parameters())
+        .collect();
+    (history, params)
+}
+
+#[test]
+fn training_is_bit_identical_with_tracing_on_and_off() {
+    medsplit::telemetry::set_enabled(true);
+    let (traced, traced_params) = run_once();
+    // The traced run actually recorded something — otherwise this guard
+    // compares an instrumented run against itself.
+    let spans = medsplit::telemetry::drain_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "round"),
+        "tracing was enabled but recorded no round spans"
+    );
+
+    medsplit::telemetry::set_enabled(false);
+    let (plain, plain_params) = run_once();
+    assert!(
+        medsplit::telemetry::drain_spans().is_empty(),
+        "tracing was disabled but still recorded spans"
+    );
+
+    // Bit-exact equality of everything deterministic. f32 comparisons are
+    // exact on purpose: telemetry must not perturb a single operation.
+    assert_eq!(traced.final_accuracy.to_bits(), plain.final_accuracy.to_bits());
+    assert_eq!(traced.stats.total_bytes, plain.stats.total_bytes);
+    assert_eq!(traced.stats.messages, plain.stats.messages);
+    assert_eq!(traced.stats.by_kind, plain.stats.by_kind);
+    assert_eq!(traced.stats.msgs_by_kind, plain.stats.msgs_by_kind);
+    assert_eq!(traced.stats.uplink_bytes, plain.stats.uplink_bytes);
+    assert_eq!(traced.stats.downlink_bytes, plain.stats.downlink_bytes);
+    assert_eq!(
+        traced.stats.makespan_s.to_bits(),
+        plain.stats.makespan_s.to_bits()
+    );
+
+    assert_eq!(traced.records.len(), plain.records.len());
+    for (a, b) in traced.records.iter().zip(&plain.records) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.lr.to_bits(), b.lr.to_bits(), "round {}", a.round);
+        assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits(), "round {}", a.round);
+        assert_eq!(a.cumulative_bytes, b.cumulative_bytes, "round {}", a.round);
+        assert_eq!(
+            a.simulated_time_s.to_bits(),
+            b.simulated_time_s.to_bits(),
+            "round {}",
+            a.round
+        );
+        assert_eq!(
+            a.accuracy.map(f32::to_bits),
+            b.accuracy.map(f32::to_bits),
+            "round {}",
+            a.round
+        );
+        // wall_time_s intentionally not compared: host timing.
+    }
+
+    assert_eq!(traced_params.len(), plain_params.len());
+    for (i, (a, b)) in traced_params.iter().zip(&plain_params).enumerate() {
+        assert_eq!(a, b, "platform {i} L1 parameters differ");
+    }
+}
