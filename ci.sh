@@ -26,4 +26,11 @@ echo "==> trace_report --smoke"
 MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release --offline -p medsplit-bench --bin trace_report -- --smoke
 
+echo "==> resilience_bench --smoke (chaos gate)"
+# Fixed-seed tiny MLP under injected faults: asserts training completes
+# under 10% loss within quorum, a crash-rejoin window degrades exactly
+# its rounds, and a faulty run replays bit-identically from its seed.
+MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release --offline -p medsplit-bench --bin resilience_bench -- --smoke
+
 echo "ci.sh: all green"

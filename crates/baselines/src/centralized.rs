@@ -96,6 +96,8 @@ pub fn train_centralized<T: Transport>(
             cumulative_bytes: snap.total_bytes,
             simulated_time_s: snap.makespan_s,
             wall_time_s: round_start.elapsed().as_secs_f64(),
+            participants: 1,
+            degraded: false,
             accuracy,
         });
     }

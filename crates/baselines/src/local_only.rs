@@ -76,6 +76,8 @@ pub fn train_local_only(
             cumulative_bytes: 0,
             simulated_time_s: 0.0,
             wall_time_s: round_start.elapsed().as_secs_f64(),
+            participants: losses.len(),
+            degraded: false,
             accuracy,
         });
     }

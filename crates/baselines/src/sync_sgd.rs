@@ -164,6 +164,8 @@ pub fn train_sync_sgd<T: Transport>(
             cumulative_bytes: snap.total_bytes,
             simulated_time_s: snap.makespan_s,
             wall_time_s: round_start.elapsed().as_secs_f64(),
+            participants: losses.len(),
+            degraded: false,
             accuracy,
         });
     }

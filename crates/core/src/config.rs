@@ -115,6 +115,64 @@ impl ComputeModel {
     }
 }
 
+/// Exponential backoff schedule for within-round retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry, in simulated seconds.
+    pub base_s: f64,
+    /// Multiplier applied per attempt.
+    pub factor: f64,
+    /// Ceiling on the delay of any single retry.
+    pub max_s: f64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_s: 0.5,
+            factor: 2.0,
+            max_s: 8.0,
+        }
+    }
+}
+
+impl Backoff {
+    /// Delay of the 0-based `attempt`-th retry, before jitter.
+    pub fn delay_s(&self, attempt: u32) -> f64 {
+        (self.base_s * self.factor.powi(attempt as i32)).min(self.max_s)
+    }
+}
+
+/// Fault-tolerance policy for one training round: how long to wait, how
+/// many platforms are enough, and how hard to retry before giving up on
+/// a platform for the round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundPolicy {
+    /// Per-round deadline on the simulated clock: a platform whose clock
+    /// has fallen more than this far behind the round start is skipped
+    /// for the round (it rejoins at the next boundary).
+    pub deadline_s: f64,
+    /// Minimum number of participating platforms for the round's update
+    /// to be applied. Below quorum the round is recorded as degraded and
+    /// no update happens.
+    pub min_platforms: usize,
+    /// Retries per platform per protocol step before skipping it.
+    pub max_retries: u32,
+    /// Backoff between retries.
+    pub backoff: Backoff,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        RoundPolicy {
+            deadline_s: 60.0,
+            min_platforms: 1,
+            max_retries: 3,
+            backoff: Backoff::default(),
+        }
+    }
+}
+
 /// Full configuration of a split-learning training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitConfig {
@@ -149,6 +207,9 @@ pub struct SplitConfig {
     /// ever sees the noised representation, at a measurable accuracy
     /// cost (Fig. 7).
     pub activation_noise: f32,
+    /// Fault-tolerance policy for the resilient trainer (deadline,
+    /// quorum, retries). Ignored by the fail-stop drivers.
+    pub round_policy: RoundPolicy,
 }
 
 impl Default for SplitConfig {
@@ -167,11 +228,53 @@ impl Default for SplitConfig {
             codec: WireCodec::F32,
             optimizer: OptimizerKind::Sgd,
             activation_noise: 0.0,
+            round_policy: RoundPolicy::default(),
         }
     }
 }
 
 impl SplitConfig {
+    /// Checks the configuration for values that would make a run
+    /// meaningless rather than merely fail later with a confusing
+    /// protocol error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be at least 1".into());
+        }
+        if !(self.momentum >= 0.0 && self.momentum < 1.0) {
+            return Err(format!("momentum must be in [0, 1), got {}", self.momentum));
+        }
+        if !(self.activation_noise >= 0.0 && self.activation_noise.is_finite()) {
+            return Err(format!(
+                "activation_noise must be finite and non-negative, got {}",
+                self.activation_noise
+            ));
+        }
+        let p = &self.round_policy;
+        if !(p.deadline_s > 0.0 && p.deadline_s.is_finite()) {
+            return Err(format!(
+                "round_policy.deadline_s must be finite and positive, got {}",
+                p.deadline_s
+            ));
+        }
+        if p.min_platforms == 0 {
+            return Err("round_policy.min_platforms must be at least 1".into());
+        }
+        let b = &p.backoff;
+        if !(b.base_s > 0.0 && b.factor >= 1.0 && b.max_s >= b.base_s) {
+            return Err(format!(
+                "round_policy.backoff must satisfy base_s > 0, factor >= 1, max_s >= base_s, \
+                 got base_s={}, factor={}, max_s={}",
+                b.base_s, b.factor, b.max_s
+            ));
+        }
+        Ok(())
+    }
+
     /// Whether `L1` synchronisation fires after the given 0-based round.
     pub fn sync_due(&self, round: usize) -> bool {
         match self.l1_sync {
@@ -217,6 +320,39 @@ mod tests {
         let adam = OptimizerKind::Adam.build(0.0);
         assert!(adam.learning_rate() > 0.0);
         assert_eq!(OptimizerKind::default(), OptimizerKind::Sgd);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay_s(0), 0.5);
+        assert_eq!(b.delay_s(1), 1.0);
+        assert_eq!(b.delay_s(2), 2.0);
+        assert_eq!(b.delay_s(10), 8.0, "capped at max_s");
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        assert!(SplitConfig::default().validate().is_ok());
+        let c = SplitConfig {
+            rounds: 0,
+            ..SplitConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("rounds"));
+        let c = SplitConfig {
+            momentum: 1.5,
+            ..SplitConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("momentum"));
+        let mut c = SplitConfig::default();
+        c.round_policy.min_platforms = 0;
+        assert!(c.validate().unwrap_err().contains("min_platforms"));
+        let mut c = SplitConfig::default();
+        c.round_policy.deadline_s = 0.0;
+        assert!(c.validate().unwrap_err().contains("deadline_s"));
+        let mut c = SplitConfig::default();
+        c.round_policy.backoff.factor = 0.5;
+        assert!(c.validate().unwrap_err().contains("backoff"));
     }
 
     #[test]

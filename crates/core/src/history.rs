@@ -22,6 +22,14 @@ pub struct RoundRecord {
     /// geo-distributed makespan), this measures real compute time and is
     /// what the parallel kernel backend speeds up.
     pub wall_time_s: f64,
+    /// Number of platforms whose contribution made it into this round's
+    /// update. Equals the platform count for fail-stop drivers; the
+    /// resilient trainer records the surviving quorum.
+    pub participants: usize,
+    /// Whether this round ran degraded: platforms were skipped (crashed,
+    /// past the deadline, or out of retries) or the quorum failed
+    /// entirely and the update was dropped.
+    pub degraded: bool,
     /// Test accuracy, if this round was an evaluation round.
     pub accuracy: Option<f32>,
 }
@@ -69,7 +77,7 @@ impl TrainingHistory {
     }
 
     /// Renders the history as CSV
-    /// (`method,round,lr,loss,bytes,simulated_s,wall_s,accuracy`).
+    /// (`method,round,lr,loss,bytes,simulated_s,wall_s,participants,degraded,accuracy`).
     ///
     /// Two easily confused time columns, both cumulative-vs-per-round
     /// asymmetric on purpose:
@@ -84,11 +92,12 @@ impl TrainingHistory {
     ///   kernel optimisations speed up and what `trace_report` breaks
     ///   down by phase; it says nothing about WAN behaviour.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("method,round,lr,loss,bytes,simulated_s,wall_s,accuracy\n");
+        let mut out =
+            String::from("method,round,lr,loss,bytes,simulated_s,wall_s,participants,degraded,accuracy\n");
         for r in &self.records {
             let acc = r.accuracy.map_or(String::new(), |a| format!("{a:.4}"));
             out.push_str(&format!(
-                "{},{},{:.5},{:.4},{},{:.3},{:.3},{}\n",
+                "{},{},{:.5},{:.4},{},{:.3},{:.3},{},{},{}\n",
                 self.method,
                 r.round,
                 r.lr,
@@ -96,10 +105,17 @@ impl TrainingHistory {
                 r.cumulative_bytes,
                 r.simulated_time_s,
                 r.wall_time_s,
+                r.participants,
+                r.degraded as u8,
                 acc
             ));
         }
         out
+    }
+
+    /// Number of rounds recorded as degraded.
+    pub fn degraded_rounds(&self) -> usize {
+        self.records.iter().filter(|r| r.degraded).count()
     }
 }
 
@@ -115,6 +131,8 @@ mod tests {
             cumulative_bytes: bytes,
             simulated_time_s: round as f64,
             wall_time_s: 0.01,
+            participants: 2,
+            degraded: round == 1,
             accuracy: acc,
         };
         TrainingHistory {
@@ -166,9 +184,15 @@ mod tests {
         let csv = history().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
-        assert_eq!(lines[0], "method,round,lr,loss,bytes,simulated_s,wall_s,accuracy");
+        assert_eq!(
+            lines[0],
+            "method,round,lr,loss,bytes,simulated_s,wall_s,participants,degraded,accuracy"
+        );
         assert!(lines[1].starts_with("split,0,"));
         // Non-eval rounds leave the accuracy column empty.
         assert!(lines[2].ends_with(','));
+        // Round 1 is marked degraded in the fixture.
+        assert!(lines[2].contains(",2,1,"));
+        assert_eq!(history().degraded_rounds(), 1);
     }
 }

@@ -51,16 +51,20 @@ mod error;
 mod history;
 pub mod messages;
 mod platform;
+mod resilient;
 mod server;
 mod split;
 pub mod threaded;
 mod trainer;
 mod ushape;
 
-pub use config::{ComputeModel, L1Sync, OptimizerKind, Scheduling, SplitConfig, SplitPoint, WireCodec};
+pub use config::{
+    Backoff, ComputeModel, L1Sync, OptimizerKind, RoundPolicy, Scheduling, SplitConfig, SplitPoint, WireCodec,
+};
 pub use error::{Result, SplitError};
 pub use history::{RoundRecord, TrainingHistory};
 pub use platform::Platform;
+pub use resilient::{ResilienceReport, ResilientTrainer};
 pub use server::SplitServer;
 pub use split::{build_split, resolve_split, SplitModel};
 pub use trainer::SplitTrainer;

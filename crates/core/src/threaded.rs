@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use medsplit_data::InMemoryDataset;
 use medsplit_nn::{accuracy, Architecture};
-use medsplit_simnet::{threaded::run_per_node, Envelope, NodeId, Transport};
+use medsplit_simnet::{recv_timeout_default, threaded::run_per_node, Envelope, NodeId, Transport};
 
 use crate::config::{L1Sync, Scheduling, SplitConfig};
 use crate::error::{Result, SplitError};
@@ -16,7 +16,11 @@ use crate::platform::Platform;
 use crate::server::SplitServer;
 use crate::trainer::build_actors;
 
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+/// Shared, env-overridable blocking-receive timeout
+/// (see [`medsplit_simnet::recv_timeout_default`]).
+fn recv_timeout() -> Duration {
+    recv_timeout_default()
+}
 
 enum NodeResult {
     Server(Box<SplitServer>),
@@ -34,7 +38,7 @@ fn server_loop<T: Transport>(
         let acts: Vec<Envelope> = (0..platforms)
             .map(|_| {
                 transport
-                    .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+                    .recv_timeout(NodeId::Server, recv_timeout())
                     .map_err(SplitError::from)
             })
             .collect::<Result<_>>()?;
@@ -44,7 +48,7 @@ fn server_loop<T: Transport>(
         let grads: Vec<Envelope> = (0..platforms)
             .map(|_| {
                 transport
-                    .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+                    .recv_timeout(NodeId::Server, recv_timeout())
                     .map_err(SplitError::from)
             })
             .collect::<Result<_>>()?;
@@ -67,11 +71,11 @@ fn platform_loop<T: Transport>(
         platform.set_lr(config.lr.lr_at(round));
         let acts = platform.start_round(round as u64)?;
         transport.send(acts)?;
-        let logits = transport.recv_timeout(node, RECV_TIMEOUT)?;
+        let logits = transport.recv_timeout(node, recv_timeout())?;
         let (grads, loss) = platform.handle_logits(&logits)?;
         losses.push(loss);
         transport.send(grads)?;
-        let cut = transport.recv_timeout(node, RECV_TIMEOUT)?;
+        let cut = transport.recv_timeout(node, recv_timeout())?;
         platform.handle_cut_grads(&cut)?;
     }
     Ok(NodeResult::Platform(Box::new(platform), losses))
@@ -101,6 +105,7 @@ pub fn train_threaded<T: Transport>(
     test: InMemoryDataset,
     transport: &T,
 ) -> Result<TrainingHistory> {
+    config.validate().map_err(SplitError::Config)?;
     if config.scheduling != Scheduling::Aggregate {
         return Err(SplitError::Config(
             "threaded mode implements Aggregate scheduling".into(),
@@ -169,6 +174,8 @@ pub fn train_threaded<T: Transport>(
                 // Rounds are not observable from inside the node threads
                 // (see module docs), so wall time is amortised evenly too.
                 wall_time_s: train_wall_s / config.rounds.max(1) as f64,
+                participants: k,
+                degraded: false,
                 accuracy: if round + 1 == config.rounds {
                     Some(final_accuracy)
                 } else {

@@ -106,6 +106,7 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
         test: InMemoryDataset,
         transport: &'t T,
     ) -> Result<Self> {
+        config.validate().map_err(SplitError::Config)?;
         if transport.stats().snapshot().messages > 0 {
             return Err(SplitError::Config(
                 "transport has already been used; accounting would be polluted".into(),
@@ -200,6 +201,8 @@ impl<'t, T: Transport> SplitTrainer<'t, T> {
                 cumulative_bytes: snap.total_bytes,
                 simulated_time_s: snap.makespan_s,
                 wall_time_s: round_start.elapsed().as_secs_f64(),
+                participants: self.platforms.len(),
+                degraded: false,
                 accuracy,
             });
         }

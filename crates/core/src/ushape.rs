@@ -334,6 +334,8 @@ impl<'t, T: Transport> UShapeTrainer<'t, T> {
                 cumulative_bytes: snap.total_bytes,
                 simulated_time_s: snap.makespan_s,
                 wall_time_s: round_start.elapsed().as_secs_f64(),
+                participants: losses.len(),
+                degraded: false,
                 accuracy,
             });
         }

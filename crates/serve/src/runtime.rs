@@ -30,8 +30,12 @@ use crate::batcher::{Admission, BatchEntry, DynamicBatcher};
 use crate::metrics::{LatencySummary, ServeReport};
 use crate::wire::{decode_request, decode_response, encode_request, encode_response, InferStatus};
 
-/// How long a node thread waits on an empty inbox before giving up.
-const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+/// How long a node thread waits on an empty inbox before giving up —
+/// the shared, env-overridable constant from
+/// [`medsplit_simnet::recv_timeout_default`].
+fn recv_timeout() -> Duration {
+    medsplit_simnet::recv_timeout_default()
+}
 
 /// Serving-runtime parameters.
 #[derive(Debug, Clone)]
@@ -271,7 +275,7 @@ fn client_loop<T: Transport>(
     let mut records = Vec::with_capacity(expected);
     for _ in 0..expected {
         let env = transport
-            .recv_timeout(node, RECV_TIMEOUT)
+            .recv_timeout(node, recv_timeout())
             .map_err(SplitError::from)?;
         let resp = decode_response(&env)?;
         // End-to-end latency under the simulated clock: the response left
@@ -314,7 +318,7 @@ fn server_loop<T: Transport>(
     let mut done = 0usize;
     while done < client_count {
         let env = transport
-            .recv_timeout(NodeId::Server, RECV_TIMEOUT)
+            .recv_timeout(NodeId::Server, recv_timeout())
             .map_err(SplitError::from)?;
         match env.kind {
             MessageKind::Control => done += 1,

@@ -5,6 +5,7 @@
 //! injected here.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -29,6 +30,7 @@ pub enum FaultKind {
 pub struct FaultyTransport<T> {
     inner: T,
     faults: Mutex<HashMap<NodeId, FaultKind>>,
+    fail_fast: AtomicBool,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -37,6 +39,7 @@ impl<T: Transport> FaultyTransport<T> {
         FaultyTransport {
             inner,
             faults: Mutex::new(HashMap::new()),
+            fail_fast: AtomicBool::new(false),
         }
     }
 
@@ -50,6 +53,21 @@ impl<T: Transport> FaultyTransport<T> {
         self.faults.lock().remove(&node);
     }
 
+    /// Whether `node` currently has a [`FaultKind::Dead`] fault.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        matches!(self.faults.lock().get(&node), Some(FaultKind::Dead))
+    }
+
+    /// Opts into fail-fast semantics for dead nodes: when enabled, a send
+    /// *from* a [`FaultKind::Dead`] node returns [`NetError::PeerDown`]
+    /// instead of silently succeeding. Off by default — the sync-SGD
+    /// baseline deliberately relies on silent drops (its backup workers
+    /// are the recovery mechanism), whereas fault-aware runtimes want the
+    /// signal so peers do not block a full receive timeout per message.
+    pub fn fail_fast(&self, enabled: bool) {
+        self.fail_fast.store(enabled, Ordering::Relaxed);
+    }
+
     /// Access to the wrapped transport.
     pub fn inner(&self) -> &T {
         &self.inner
@@ -60,7 +78,13 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn send(&self, env: Envelope) -> Result<(), NetError> {
         let fault = self.faults.lock().get(&env.src).copied();
         match fault {
-            Some(FaultKind::Dead) => Ok(()), // silently dropped
+            Some(FaultKind::Dead) => {
+                if self.fail_fast.load(Ordering::Relaxed) {
+                    Err(NetError::PeerDown(env.src.to_string()))
+                } else {
+                    Ok(()) // silently dropped
+                }
+            }
             Some(FaultKind::Slow(penalty)) => {
                 self.inner.stats().advance_clock(env.src, penalty);
                 self.inner.send(env)
@@ -129,6 +153,23 @@ mod tests {
         t.clear_fault(NodeId::Platform(0));
         t.send(env(NodeId::Platform(0))).unwrap();
         assert!(t.try_recv(NodeId::Server).is_some());
+    }
+
+    #[test]
+    fn fail_fast_surfaces_peer_down_instead_of_silent_drop() {
+        let t = FaultyTransport::new(MemoryTransport::new(StarTopology::new(1)));
+        t.set_fault(NodeId::Platform(0), FaultKind::Dead);
+        assert!(t.is_down(NodeId::Platform(0)));
+        assert!(!t.is_down(NodeId::Server));
+
+        t.fail_fast(true);
+        let err = t.send(env(NodeId::Platform(0))).unwrap_err();
+        assert!(matches!(err, NetError::PeerDown(_)));
+
+        // Back to the default: silent drop, Ok.
+        t.fail_fast(false);
+        t.send(env(NodeId::Platform(0))).unwrap();
+        assert!(t.try_recv(NodeId::Server).is_none());
     }
 
     #[test]

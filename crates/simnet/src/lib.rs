@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod fault;
 mod link;
 mod message;
@@ -37,10 +38,11 @@ pub mod threaded;
 mod topology;
 mod transport;
 
+pub use chaos::{ChaosEvent, ChaosRng, ChaosSnapshot, ChaosStats, ChaosTransport, FaultPlan, LinkFaults};
 pub use fault::{FaultKind, FaultyTransport};
 pub use link::LinkSpec;
-pub use message::{Envelope, FrameError, MessageKind, HEADER_BYTES};
+pub use message::{payload_checksum, Envelope, FrameError, MessageKind, HEADER_BYTES};
 pub use node::NodeId;
 pub use stats::{NetStats, StatsSnapshot};
 pub use topology::StarTopology;
-pub use transport::{MemoryTransport, NetError, Transport};
+pub use transport::{recv_timeout_default, MemoryTransport, NetError, Transport};

@@ -129,6 +129,19 @@ impl std::fmt::Display for MessageKind {
     }
 }
 
+/// FNV-1a 32-bit hash of a byte slice — the payload checksum carried by
+/// every [`Envelope`]. Not cryptographic: it exists so that *injected*
+/// bit corruption (see `ChaosTransport`) is detected at the receiver
+/// instead of being silently trained on.
+pub fn payload_checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
 /// One message on the wire: routing metadata plus an opaque serialised
 /// payload. Payloads are produced by `Tensor::to_bytes` (or are empty for
 /// control messages), so the byte accounting below is exact.
@@ -140,33 +153,46 @@ pub struct Envelope {
     pub dst: NodeId,
     /// Training round this message belongs to.
     pub round: u64,
+    /// Per-sender sequence number, stamped by the transport at send time
+    /// (0 until sent through a sequencing transport). Lets receivers
+    /// distinguish a retransmission from a duplicated delivery.
+    pub seq: u64,
     /// Message kind for accounting and dispatch.
     pub kind: MessageKind,
+    /// FNV-1a checksum of the payload, computed at construction. A
+    /// mismatch against [`payload_checksum`] of the received payload
+    /// means the bytes were corrupted in flight.
+    pub checksum: u32,
     /// Serialised payload.
     pub payload: Bytes,
 }
 
 impl Envelope {
-    /// Creates an envelope.
+    /// Creates an envelope. The payload checksum is computed here; the
+    /// sequence number starts at 0 and is stamped by the transport.
     pub fn new(src: NodeId, dst: NodeId, round: u64, kind: MessageKind, payload: Bytes) -> Self {
+        let checksum = payload_checksum(&payload);
         Envelope {
             src,
             dst,
             round,
+            seq: 0,
             kind,
+            checksum,
             payload,
         }
     }
 
     /// A payload-less control message.
     pub fn control(src: NodeId, dst: NodeId, round: u64) -> Self {
-        Envelope {
-            src,
-            dst,
-            round,
-            kind: MessageKind::Control,
-            payload: Bytes::new(),
-        }
+        Envelope::new(src, dst, round, MessageKind::Control, Bytes::new())
+    }
+
+    /// Whether the payload still matches the checksum stamped at
+    /// construction. `false` means the message was corrupted in flight
+    /// and must be discarded (and, under a retry policy, NACKed).
+    pub fn verify_checksum(&self) -> bool {
+        payload_checksum(&self.payload) == self.checksum
     }
 
     /// Bytes this message occupies on the wire (payload + framing).
@@ -175,9 +201,9 @@ impl Envelope {
     }
 
     /// Serialises the envelope to a canonical byte frame:
-    /// `kind u8 · src u64 · dst u64 · round u64 · len u64 · payload`,
-    /// all little-endian. The server is encoded as `u64::MAX`, platform
-    /// `i` as `i`.
+    /// `kind u8 · src u64 · dst u64 · round u64 · seq u64 · checksum u32
+    /// · len u64 · payload`, all little-endian. The server is encoded as
+    /// `u64::MAX`, platform `i` as `i`.
     ///
     /// The frame is what a real socket transport would write; the
     /// *accounted* framing overhead stays the flat [`HEADER_BYTES`]
@@ -189,11 +215,13 @@ impl Envelope {
                 NodeId::Platform(i) => i as u64,
             }
         }
-        let mut out = Vec::with_capacity(33 + self.payload.len());
+        let mut out = Vec::with_capacity(45 + self.payload.len());
         out.push(self.kind.wire_code());
         out.extend_from_slice(&node_code(self.src).to_le_bytes());
         out.extend_from_slice(&node_code(self.dst).to_le_bytes());
         out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.checksum.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.payload);
         Bytes::from(out)
@@ -223,15 +251,22 @@ impl Envelope {
         let src = node_from(take_u64(frame, 1)?);
         let dst = node_from(take_u64(frame, 9)?);
         let round = take_u64(frame, 17)?;
-        let len = take_u64(frame, 25)? as usize;
+        let seq = take_u64(frame, 25)?;
+        let checksum_bytes = frame
+            .get(33..37)
+            .ok_or(FrameError::Truncated { len: frame.len() })?;
+        let checksum = u32::from_le_bytes(checksum_bytes.try_into().expect("4-byte slice"));
+        let len = take_u64(frame, 37)? as usize;
         let payload = frame
-            .get(33..33 + len)
+            .get(45..45 + len)
             .ok_or(FrameError::Truncated { len: frame.len() })?;
         Ok(Envelope {
             src,
             dst,
             round,
+            seq,
             kind,
+            checksum,
             payload: Bytes::copy_from_slice(payload),
         })
     }
@@ -311,20 +346,24 @@ mod tests {
     #[test]
     fn every_kind_round_trips_through_encode() {
         for (i, kind) in MessageKind::all().iter().enumerate() {
-            let env = Envelope::new(
+            let mut env = Envelope::new(
                 NodeId::Platform(i),
                 NodeId::Server,
                 i as u64 * 7,
                 *kind,
                 Bytes::from(vec![i as u8; i * 13]),
             );
+            env.seq = i as u64 * 31 + 1;
             let decoded = Envelope::decode(&env.encode()).unwrap();
             assert_eq!(decoded.src, env.src);
             assert_eq!(decoded.dst, env.dst);
             assert_eq!(decoded.round, env.round);
+            assert_eq!(decoded.seq, env.seq);
             assert_eq!(decoded.kind, env.kind);
+            assert_eq!(decoded.checksum, env.checksum);
             assert_eq!(decoded.payload, env.payload);
             assert_eq!(decoded.wire_size(), env.wire_size());
+            assert!(decoded.verify_checksum());
         }
         // Server as source survives the u64::MAX encoding.
         let env = Envelope::control(NodeId::Server, NodeId::Platform(3), 9);
@@ -357,5 +396,27 @@ mod tests {
             Envelope::decode(&bad_kind),
             Err(FrameError::UnknownKind(250))
         ));
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let mut env = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            2,
+            MessageKind::Activations,
+            Bytes::from(vec![9u8; 32]),
+        );
+        assert!(env.verify_checksum());
+        // Flip one payload bit: the stamped checksum no longer matches.
+        let mut bytes = env.payload.to_vec();
+        bytes[7] ^= 0x10;
+        env.payload = Bytes::from(bytes);
+        assert!(!env.verify_checksum());
+        // The corruption also survives an encode/decode round trip.
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert!(!decoded.verify_checksum());
+        // Empty payloads are valid too.
+        assert!(Envelope::control(NodeId::Server, NodeId::Platform(0), 0).verify_checksum());
     }
 }

@@ -19,6 +19,10 @@ pub enum NetError {
     UnknownNode(String),
     /// A blocking receive gave up (peer shut down or timed out).
     Disconnected(String),
+    /// The sending node is known to be crashed, so the send can fail
+    /// fast instead of letting the peer block a full receive timeout on
+    /// a message that will never arrive.
+    PeerDown(String),
 }
 
 impl fmt::Display for NetError {
@@ -26,11 +30,29 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownNode(n) => write!(f, "unknown node: {n}"),
             NetError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+            NetError::PeerDown(n) => write!(f, "peer down: {n}"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// The blocking-receive timeout shared by every threaded runtime
+/// (split training and serving), read once from the
+/// `MEDSPLIT_RECV_TIMEOUT_S` environment variable (seconds, integer or
+/// fractional) with a 60 s default. One shared, overridable constant
+/// replaces the hard-codes that used to be duplicated per runtime.
+pub fn recv_timeout_default() -> Duration {
+    use std::sync::OnceLock;
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("MEDSPLIT_RECV_TIMEOUT_S")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .map_or(Duration::from_secs(60), Duration::from_secs_f64)
+    })
+}
 
 /// A message transport between the nodes of a topology.
 ///
@@ -256,6 +278,14 @@ mod tests {
         t.shutdown();
         assert!(handle.join().unwrap().is_err());
         assert!(t.send(env(NodeId::Platform(0), NodeId::Server)).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_default_is_positive_and_cached() {
+        let a = recv_timeout_default();
+        assert!(a > Duration::ZERO);
+        // OnceLock: the value is stable for the life of the process.
+        assert_eq!(a, recv_timeout_default());
     }
 
     #[test]

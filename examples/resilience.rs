@@ -5,6 +5,10 @@
 //! synchronous SGD stalls without backup workers, survives with them.
 //! Part 2 — the central server crashes: training resumes from a
 //! checkpoint blob without retraining.
+//! Part 3 — the fault-tolerant split trainer: one hospital crashes and
+//! rejoins from its checkpoint, another straggles past the round
+//! deadline, 10 % of messages are dropped — and the study still
+//! completes under a quorum policy, deterministically from one seed.
 //!
 //! Run with:
 //!
@@ -13,10 +17,12 @@
 //! ```
 
 use medsplit::baselines::{train_sync_sgd, BaselineConfig, SyncSgdOptions};
-use medsplit::core::{SplitConfig, SplitTrainer};
+use medsplit::core::{ResilientTrainer, SplitConfig, SplitTrainer};
 use medsplit::data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
 use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
-use medsplit::simnet::{FaultKind, FaultyTransport, MemoryTransport, NodeId, StarTopology};
+use medsplit::simnet::{
+    ChaosTransport, FaultKind, FaultPlan, FaultyTransport, MemoryTransport, NodeId, StarTopology,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = Architecture::Mlp(MlpConfig {
@@ -108,7 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t2 = MemoryTransport::new(StarTopology::new(4));
     let mut cfg2 = split_config;
     cfg2.seed = 12345; // fresh random init — only the checkpoint carries state
-    let mut phase2 = SplitTrainer::new(&arch, cfg2, shards, test, &t2)?;
+    let mut phase2 = SplitTrainer::new(&arch, cfg2, shards.clone(), test.clone(), &t2)?;
     phase2.server_mut().restore(&server_blob)?;
     for (p, blob) in phase2.platforms_mut().iter_mut().zip(&platform_blobs) {
         p.restore(blob)?;
@@ -124,6 +130,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "phase 2: {:.1}% accuracy after {} more rounds — study completed despite the crash",
         h2.final_accuracy * 100.0,
         40
+    );
+
+    // ---- Part 3: fault-tolerant split training under chaos --------------
+    println!("\n== Part 3: quorum rounds under loss, a crash and a straggler ==");
+    let mut chaos_config = SplitConfig {
+        rounds: 40,
+        eval_every: 0,
+        lr: LrSchedule::Constant(0.1),
+        minibatch: MinibatchPolicy::Fixed(8),
+        momentum: 0.0,
+        ..SplitConfig::default()
+    };
+    // Proceed while at least 2 of 4 hospitals answer; skip anyone slower
+    // than 2 simulated seconds per round.
+    chaos_config.round_policy.min_platforms = 2;
+    chaos_config.round_policy.deadline_s = 2.0;
+
+    // Everything below — which messages drop, when hospital 1 dies and
+    // rejoins, how badly hospital 3 lags — replays from this one seed.
+    let plan = FaultPlan::new(42)
+        .with_drop(0.10)
+        .crash(NodeId::Platform(1), 10)
+        .recover(NodeId::Platform(1), 25)
+        .straggler(NodeId::Platform(3), 5.0);
+    let chaos = ChaosTransport::new(MemoryTransport::new(StarTopology::new(4)), plan);
+    let mut trainer =
+        ResilientTrainer::new(&arch, chaos_config.clone(), shards.clone(), test.clone(), &chaos)?;
+    let faulty = trainer.run()?;
+    let report = trainer.report();
+    println!(
+        "chaos run: {:.1}% accuracy, {} / {} rounds degraded, {} retries, \
+         {} crash / {} rejoin, {} straggler round-skips",
+        faulty.final_accuracy * 100.0,
+        faulty.degraded_rounds(),
+        chaos_config.rounds,
+        report.retries,
+        report.crashes,
+        report.rejoins,
+        report.skipped_platform_rounds,
+    );
+
+    // The same study with a healthy network, for comparison.
+    let calm = ChaosTransport::new(MemoryTransport::new(StarTopology::new(4)), FaultPlan::new(42));
+    let mut baseline = ResilientTrainer::new(&arch, chaos_config, shards, test, &calm)?;
+    let clean = baseline.run()?;
+    println!(
+        "fault-free:  {:.1}% accuracy — chaos cost {:.1} accuracy points",
+        clean.final_accuracy * 100.0,
+        (clean.final_accuracy - faulty.final_accuracy) * 100.0
     );
     Ok(())
 }
