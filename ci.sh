@@ -13,11 +13,38 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
-echo "==> kernel_bench --smoke"
+echo "==> kernel_bench --smoke (ISA A/B digest gate)"
 # Tiny shapes; the binary asserts its own CSV schema, so a green run
-# means the benchmark harness itself still works.
-MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
+# means the benchmark harness itself still works. Run twice — once
+# forced onto the portable scalar kernels, once auto-dispatched — and
+# assert the kernel result digests are bit-identical, pinning the
+# cross-ISA determinism guarantee end to end.
+scalar_dir="$(mktemp -d)"
+auto_dir="$(mktemp -d)"
+MEDSPLIT_RESULTS_DIR="$scalar_dir" MEDSPLIT_ISA=scalar \
     cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
+MEDSPLIT_RESULTS_DIR="$auto_dir" MEDSPLIT_ISA=auto \
+    cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
+if ! cmp -s "$scalar_dir/kernel_digest.txt" "$auto_dir/kernel_digest.txt"; then
+    echo "ci.sh: kernel digests diverged between MEDSPLIT_ISA=scalar and auto:" >&2
+    echo "  scalar: $(cat "$scalar_dir/kernel_digest.txt")" >&2
+    echo "  auto:   $(cat "$auto_dir/kernel_digest.txt")" >&2
+    exit 1
+fi
+echo "    kernel digest identical across ISAs: $(cat "$auto_dir/kernel_digest.txt")"
+
+echo "==> miri (unsafe microkernel + simd + scratch modules)"
+# Miri (or cargo-careful as a fallback) over the unsafe kernel modules'
+# unit tests. Both need rustup components this offline image may lack,
+# so the job is availability-gated rather than required.
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-disable-isolation" cargo miri test -q -p medsplit-tensor --offline \
+        --lib -- microkernel:: simd:: scratch::
+elif cargo careful --version >/dev/null 2>&1; then
+    cargo careful test -q -p medsplit-tensor --offline --lib
+else
+    echo "    (skipped: neither cargo-miri nor cargo-careful is installed)"
+fi
 
 echo "==> trace_report --smoke"
 # Traced tiny split-training run: dumps a JSONL trace, re-loads it, and

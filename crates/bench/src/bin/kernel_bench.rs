@@ -2,12 +2,21 @@
 //!
 //! Sweeps GEMM and convolution shapes across worker-pool sizes and
 //! reports throughput (GFLOP/s), speedup versus one thread, speedup
-//! versus the seed (naive, branchy) kernel, and scratch-arena heap
-//! allocations per step.
+//! versus the seed (naive, branchy) kernel, scratch-arena heap
+//! allocations per step, and — the headline for the SIMD microkernels —
+//! GFLOPS versus the portable scalar reference path
+//! (`gflops_vs_scalar`): every shape is measured once more under
+//! `MEDSPLIT_ISA=scalar` semantics at one thread, and each row reports
+//! its throughput relative to that baseline.
 //!
 //! Outputs:
 //!   - `bench_results/kernel_bench.csv` (or `$MEDSPLIT_RESULTS_DIR`),
-//!   - `BENCH_kernels.json` in the current directory (repo root in CI).
+//!   - `BENCH_kernels.json` in the current directory (repo root in CI),
+//!     with the dispatched ISA recorded,
+//!   - `bench_results/kernel_digest.txt`: an FNV-1a digest of a fixed
+//!     deterministic kernel workload. CI runs the smoke bench twice —
+//!     `MEDSPLIT_ISA=scalar` and auto-detected — and asserts the digests
+//!     match, pinning the cross-ISA bit-identity guarantee end to end.
 //!
 //! Usage:
 //!   kernel_bench [--smoke] [--threads 1,2,4] [--reps N]
@@ -20,10 +29,10 @@ use std::time::Instant;
 
 use medsplit_bench::report::{arg_present, arg_value, write_result, TextTable};
 use medsplit_tensor::ops::conv::{conv2d_forward, Conv2dSpec};
-use medsplit_tensor::{init::rng_from_seed, pool, scratch, Tensor};
+use medsplit_tensor::{init::rng_from_seed, pool, scratch, simd, Tensor};
 
-const CSV_HEADER: &str =
-    "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,speedup_vs_seed,scratch_allocs_per_step";
+const CSV_HEADER: &str = "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,\
+                          speedup_vs_seed,gflops_vs_scalar,scratch_allocs_per_step";
 
 /// The seed repository's GEMM kernel, kept verbatim as the baseline: a
 /// cache-blocked triple loop with the `aval == 0.0` skip branch the
@@ -62,15 +71,18 @@ struct Row {
     gflops: f64,
     speedup_vs_1t: f64,
     speedup_vs_seed: f64,
+    gflops_vs_scalar: f64,
     scratch_allocs_per_step: f64,
 }
 
 /// Times `body` for `reps` repetitions and returns the best wall time in
 /// seconds plus the scratch-arena allocation growth per repetition.
-fn time_best(reps: usize, mut body: impl FnMut()) -> (f64, f64) {
-    // Warm up once so thread spawning and scratch growth don't pollute
-    // the timed region — steady-state allocations are what we report.
-    body();
+fn time_best(reps: usize, body: impl Fn() + Sync) -> (f64, f64) {
+    // Warm up on the caller AND every pool worker so no worker's
+    // thread-local scratch arena grows inside the timed region — jobs go
+    // to whichever workers win the queue race, so a single plain call
+    // cannot cover them all.
+    pool::warmup(&body);
     let allocs_before = scratch::stats().allocations;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -82,6 +94,17 @@ fn time_best(reps: usize, mut body: impl FnMut()) -> (f64, f64) {
     (best, allocs as f64 / reps as f64)
 }
 
+/// Measures `body` once under the portable scalar ISA at one thread and
+/// returns the best wall time; restores the previously active ISA.
+fn scalar_baseline(reps: usize, body: impl Fn() + Sync) -> f64 {
+    let active = simd::active_isa();
+    assert!(simd::set_isa(simd::Isa::Scalar));
+    pool::set_num_threads(1);
+    let (best_s, _) = time_best(reps, body);
+    assert!(simd::set_isa(active));
+    best_s
+}
+
 fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows: &mut Vec<Row>) {
     let mut rng = rng_from_seed(7);
     let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
@@ -91,6 +114,12 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
     let (seed_s, _) = time_best(reps, || {
         std::hint::black_box(seed_gemm(a.as_slice(), b.as_slice(), m, k, n));
     });
+    // The scalar reference path is deliberately slow (libm-fused); a
+    // couple of repetitions suffice for a stable best-of.
+    let scalar_s = scalar_baseline(reps.min(2), || {
+        std::hint::black_box(a.matmul(&b).expect("gemm"));
+    });
+    let scalar_gflops = flops / scalar_s / 1e9;
 
     let mut one_thread_s = f64::NAN;
     for &t in threads {
@@ -110,6 +139,7 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
             gflops: flops / best_s / 1e9,
             speedup_vs_1t: one_thread_s / best_s,
             speedup_vs_seed: seed_s / best_s,
+            gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
             scratch_allocs_per_step: allocs,
         });
     }
@@ -138,6 +168,11 @@ fn bench_conv(
     let (oh, ow) = spec.output_hw(hw, hw).expect("conv shape");
     let flops = 2.0 * (n * o * oh * ow * c * kernel * kernel) as f64;
 
+    let scalar_s = scalar_baseline(reps.min(2), || {
+        std::hint::black_box(conv2d_forward(&input, &weight, Some(&bias), spec).expect("conv"));
+    });
+    let scalar_gflops = flops / scalar_s / 1e9;
+
     let mut one_thread_s = f64::NAN;
     for &t in threads {
         pool::set_num_threads(t);
@@ -158,6 +193,7 @@ fn bench_conv(
             // No seed-kernel counterpart: conv was always im2col+GEMM;
             // the seed comparison is carried by the gemm rows.
             speedup_vs_seed: f64::NAN,
+            gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
             scratch_allocs_per_step: allocs,
         });
     }
@@ -175,7 +211,7 @@ fn to_csv(rows: &[Row]) -> String {
         };
         let _ = writeln!(
             csv,
-            "{},{},{},{},{:.3},{:.2},{:.2},{},{:.2}",
+            "{},{},{},{},{:.3},{:.2},{:.2},{},{:.2},{:.2}",
             r.kernel,
             r.shape,
             r.threads,
@@ -184,15 +220,17 @@ fn to_csv(rows: &[Row]) -> String {
             r.gflops,
             r.speedup_vs_1t,
             seed,
+            r.gflops_vs_scalar,
             r.scratch_allocs_per_step
         );
     }
     csv
 }
 
-fn to_json(rows: &[Row], host_threads: usize) -> String {
+fn to_json(rows: &[Row], host_threads: usize, isa: &str) -> String {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
+    let _ = writeln!(json, "  \"isa\": \"{isa}\",");
     let _ = writeln!(json, "  \"host_available_parallelism\": {host_threads},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -206,7 +244,7 @@ fn to_json(rows: &[Row], host_threads: usize) -> String {
             json,
             "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"best_ms\": {:.4}, \
              \"gflops\": {:.3}, \"speedup_vs_1t\": {:.3}, \"speedup_vs_seed\": {}, \
-             \"scratch_allocs_per_step\": {:.2}}}{}",
+             \"gflops_vs_scalar\": {:.3}, \"scratch_allocs_per_step\": {:.2}}}{}",
             r.kernel,
             r.shape,
             r.threads,
@@ -214,12 +252,61 @@ fn to_json(rows: &[Row], host_threads: usize) -> String {
             r.gflops,
             r.speedup_vs_1t,
             seed,
+            r.gflops_vs_scalar,
             r.scratch_allocs_per_step,
             comma
         );
     }
     json.push_str("  ]\n}\n");
     json
+}
+
+/// FNV-1a over a stream of `f32` bit patterns (little-endian).
+fn fnv1a_fold(hash: u64, vals: &[f32]) -> u64 {
+    let mut h = hash;
+    for v in vals {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs a fixed deterministic workload through every dispatched kernel
+/// family (all three GEMM variants with edge tiles, conv forward, the
+/// ReLU family, the accumulators) at one thread and digests the result
+/// bits. Identical across `MEDSPLIT_ISA` settings by construction; CI
+/// asserts it.
+fn kernel_digest() -> u64 {
+    pool::set_num_threads(1);
+    let mut rng = rng_from_seed(99);
+    let a = Tensor::rand_uniform([70, 93], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform([93, 37], -1.0, 1.0, &mut rng);
+    let mut h = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    h = fnv1a_fold(h, a.matmul(&b).expect("digest gemm").as_slice());
+    let at = a.transpose().expect("digest transpose");
+    h = fnv1a_fold(h, at.matmul_tn(&b).expect("digest gemm_tn").as_slice());
+    let bt = b.transpose().expect("digest transpose");
+    h = fnv1a_fold(h, a.matmul_nt(&bt).expect("digest gemm_nt").as_slice());
+
+    let input = Tensor::rand_uniform([2, 3, 11, 11], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([4, 3, 3, 3], -0.5, 0.5, &mut rng);
+    let conv = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 1, 1)).expect("digest conv");
+    h = fnv1a_fold(h, conv.as_slice());
+
+    let x = Tensor::rand_uniform([999], -2.0, 2.0, &mut rng);
+    let g = Tensor::rand_uniform([999], -1.0, 1.0, &mut rng);
+    h = fnv1a_fold(h, x.relu().as_slice());
+    h = fnv1a_fold(h, x.relu().relu_backward(&g).expect("digest relu_bwd").as_slice());
+    h = fnv1a_fold(h, x.leaky_relu(0.01).as_slice());
+    let mut acc = x.clone();
+    acc.axpy(0.37, &g).expect("digest axpy");
+    acc.add_assign(&g).expect("digest add_assign");
+    acc.scale_inplace(-1.25);
+    h = fnv1a_fold(h, acc.as_slice());
+    h = fnv1a_fold(h, (&x * &g).as_slice());
+    h
 }
 
 fn parse_threads(spec: &str) -> Vec<usize> {
@@ -233,6 +320,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = arg_present(&args, "--smoke");
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let isa = simd::active_isa();
     let threads = match arg_value(&args, "--threads") {
         Some(spec) => parse_threads(&spec),
         None if smoke => vec![1, 2],
@@ -249,7 +337,7 @@ fn main() {
     } else {
         // GEMM shapes: the acceptance shape plus split-model layer shapes
         // (tall-skinny activations x weights) and a wide-N case that
-        // exercises the packed B-strip path.
+        // exercises the shared whole-B pack.
         bench_gemm(512, 512, 512, &threads, reps, &mut rows);
         bench_gemm(256, 256, 256, &threads, reps, &mut rows);
         bench_gemm(128, 784, 256, &threads, reps, &mut rows);
@@ -276,7 +364,7 @@ fn main() {
     }
 
     let csv_path = write_result("kernel_bench.csv", &csv).expect("write kernel_bench.csv");
-    let json = to_json(&rows, host_threads);
+    let json = to_json(&rows, host_threads, isa.name());
     // Smoke runs keep the JSON next to the CSV so they never clobber the
     // committed full-sweep numbers at the repo root.
     let json_path = if smoke {
@@ -285,6 +373,10 @@ fn main() {
         std::path::PathBuf::from("BENCH_kernels.json")
     };
     std::fs::write(&json_path, &json).expect("write BENCH_kernels.json");
+
+    let digest = kernel_digest();
+    let digest_path =
+        write_result("kernel_digest.txt", &format!("{digest:016x}\n")).expect("write kernel_digest.txt");
 
     let mut table = TextTable::new(
         "kernel_bench (best-of-reps wall time)",
@@ -296,6 +388,7 @@ fn main() {
             "GFLOP/s",
             "vs 1t",
             "vs seed",
+            "vs scalar",
             "allocs/step",
         ],
     );
@@ -312,12 +405,22 @@ fn main() {
             } else {
                 format!("{:.2}x", r.speedup_vs_seed)
             },
+            format!("{:.2}x", r.gflops_vs_scalar),
             format!("{:.2}", r.scratch_allocs_per_step),
         ]);
     }
     println!("{table}");
+    println!(
+        "isa: {} (set MEDSPLIT_ISA=scalar|avx2|neon to override)",
+        isa.name()
+    );
     println!("host available_parallelism: {host_threads}");
-    println!("wrote {} and {}", csv_path.display(), json_path.display());
+    println!(
+        "wrote {}, {} and {}",
+        csv_path.display(),
+        json_path.display(),
+        digest_path.display()
+    );
     if smoke {
         println!("smoke OK: {} rows, schema verified", rows.len());
     }

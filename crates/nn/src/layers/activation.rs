@@ -62,7 +62,13 @@ impl Activation {
 
 impl Layer for Activation {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.par_map(|x| self.apply(x));
+        // The ReLU family goes through the SIMD-dispatched tensor kernels;
+        // the transcendental activations stay on the pool-parallel map.
+        let out = match self.kind {
+            ActivationKind::Relu => input.relu(),
+            ActivationKind::LeakyRelu(a) => input.leaky_relu(a),
+            _ => input.par_map(|x| self.apply(x)),
+        };
         if mode == Mode::Train {
             self.cached_output = Some(out.clone());
             if matches!(self.kind, ActivationKind::LeakyRelu(_)) {
@@ -78,13 +84,13 @@ impl Layer for Activation {
             .as_ref()
             .ok_or_else(|| missing_cache("Activation"))?;
         match self.kind {
-            ActivationKind::Relu => out.par_zip_map(grad_out, |y, g| if y > 0.0 { g } else { 0.0 }),
+            ActivationKind::Relu => out.relu_backward(grad_out),
             ActivationKind::LeakyRelu(a) => {
                 let input = self
                     .cached_input
                     .as_ref()
                     .ok_or_else(|| missing_cache("LeakyRelu"))?;
-                input.par_zip_map(grad_out, |x, g| if x > 0.0 { g } else { a * g })
+                input.leaky_relu_backward(a, grad_out)
             }
             ActivationKind::Tanh => out.par_zip_map(grad_out, |y, g| g * (1.0 - y * y)),
             ActivationKind::Sigmoid => out.par_zip_map(grad_out, |y, g| g * y * (1.0 - y)),

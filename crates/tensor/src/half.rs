@@ -157,6 +157,117 @@ mod tests {
     }
 
     #[test]
+    fn subnormal_halves_convert_exactly() {
+        // Smallest positive f16 subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+        assert_eq!(f32_to_f16_bits(-tiny), 0x8001);
+        // Largest subnormal: 1023 × 2^-24, one ULP under the smallest
+        // normal 2^-14.
+        let largest_sub = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(largest_sub), 0x03FF);
+        assert_eq!(f16_bits_to_f32(0x03FF), largest_sub);
+        // Smallest normal sits right above it.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-14)), 0x0400);
+    }
+
+    #[test]
+    fn subnormal_rounding_ties_go_to_even() {
+        let ulp = 2.0f32.powi(-24); // subnormal ULP
+                                    // Halfway between 2·ulp and 3·ulp: tie, even mantissa (2) wins.
+        assert_eq!(f32_to_f16_bits(2.5 * ulp), 0x0002);
+        // Halfway between 3·ulp and 4·ulp: tie, rounds up to even 4.
+        assert_eq!(f32_to_f16_bits(3.5 * ulp), 0x0004);
+        // Just above a tie rounds up regardless of parity.
+        assert_eq!(f32_to_f16_bits(2.5000005 * ulp), 0x0003);
+        // Halfway between 0 and the smallest subnormal: tie to even 0.
+        assert_eq!(f32_to_f16_bits(0.5 * ulp), 0x0000);
+        // The largest-subnormal tie carries into the normal range.
+        assert_eq!(f32_to_f16_bits(1023.5 * ulp), 0x0400);
+    }
+
+    #[test]
+    fn mantissa_rounding_carries_into_exponent() {
+        // The largest f32 strictly below 2.0 rounds up across the binade
+        // boundary: mantissa overflow must carry into the exponent.
+        let just_under_two = f32::from_bits(2.0f32.to_bits() - 1);
+        assert_eq!(f32_to_f16_bits(just_under_two), f32_to_f16_bits(2.0));
+        // And at the very top of the range the same carry must saturate
+        // to infinity: anything above the max-f16 midpoint (65520).
+        assert_eq!(f32_to_f16_bits(65520.5), 0x7C00);
+        // While the midpoint itself ties to even... the even neighbour
+        // is infinity's mantissa pattern, so 65520.0 also overflows —
+        // matching IEEE 754 round-to-nearest-even semantics.
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00);
+        // Just below the midpoint stays at the max finite value.
+        assert_eq!(f32_to_f16_bits(65519.996), 0x7BFF);
+        assert_eq!(f16_bits_to_f32(0x7BFF), 65504.0);
+    }
+
+    /// A dense sweep of f32 inputs: conversion must agree with the exact
+    /// nearest-even reference computed in f64, for normals, subnormals,
+    /// ties, and the flush-to-zero band.
+    #[test]
+    fn dense_sweep_matches_f64_reference() {
+        fn reference(x: f32) -> u16 {
+            let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+            let ax = f64::from(x.abs());
+            // Scale into units of the subnormal ULP (2^-24) and round
+            // half-to-even; anything ≥ 2048 ULPs is normal territory.
+            if ax == 0.0 {
+                return sign;
+            }
+            let max = 65504.0;
+            if ax > max {
+                // Overflow threshold is the midpoint to the next step.
+                let step = 32.0; // ULP at the top binade
+                if ax >= max + step / 2.0 {
+                    return sign | 0x7C00;
+                }
+                return sign | 0x7BFF;
+            }
+            if ax < 2.0f64.powi(-14) {
+                let units = ax / 2.0f64.powi(-24);
+                let r = round_half_even(units);
+                return sign | r as u16; // may carry into exp — correct
+            }
+            let exp = ax.log2().floor() as i32;
+            let exp = exp.clamp(-14, 15);
+            let ulp = 2.0f64.powi(exp - 10);
+            let units = ax / ulp;
+            let r = round_half_even(units);
+            let (exp, mant) = if r == 2048 { (exp + 1, 1024u64) } else { (exp, r) };
+            if exp > 15 {
+                return sign | 0x7C00;
+            }
+            sign | (((exp + 15) as u16) << 10) | ((mant as u16) & 0x3FF)
+        }
+        fn round_half_even(x: f64) -> u64 {
+            let fl = x.floor();
+            let frac = x - fl;
+            let base = fl as u64;
+            if frac > 0.5 || (frac == 0.5 && base % 2 == 1) {
+                base + 1
+            } else {
+                base
+            }
+        }
+        let mut i: u64 = 0;
+        while i <= u32::MAX as u64 {
+            let x = f32::from_bits(i as u32);
+            if !x.is_nan() && x.is_finite() {
+                let got = f32_to_f16_bits(x);
+                let want = reference(x);
+                assert_eq!(got, want, "f32 bits 0x{i:08X} ({x:e})");
+            }
+            // Stride coprime with powers of two to hit varied mantissas,
+            // exponents, and both signs across ~200k samples.
+            i += 20753;
+        }
+    }
+
+    #[test]
     fn relative_error_is_bounded() {
         let mut x = 1e-3f32;
         while x < 6e4 {

@@ -40,6 +40,7 @@ pub mod pool;
 pub mod scratch;
 mod serialize;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::{Result, TensorError};

@@ -18,6 +18,11 @@
 //! and bias partials in ascending chunk order; because the chunking is
 //! fixed (never derived from the thread count), results are identical
 //! for every `MEDSPLIT_THREADS` value.
+//!
+//! All three lowered GEMMs run on the register-blocked, ISA-dispatched
+//! microkernels in [`crate::ops::matmul`] (AVX2+FMA / NEON / portable),
+//! so the convolution inherits both the SIMD throughput and the
+//! bit-identical-across-`MEDSPLIT_ISA` guarantee of the GEMM path.
 
 use crate::error::{Result, TensorError};
 use crate::ops::matmul::{gemm_into, gemm_nt_into, gemm_tn_into};

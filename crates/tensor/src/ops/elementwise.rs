@@ -1,17 +1,23 @@
 //! Elementwise arithmetic with NumPy-style broadcasting.
 //!
 //! Same-shape binary ops, the in-place accumulators (`add_assign`,
-//! `axpy`, `scale_inplace`) and the `par_map`/`par_zip_map` combinators
-//! run across the worker pool for large tensors, in fixed-size chunks so
-//! results do not depend on the thread count. Small tensors stay on the
-//! sequential path — below [`PAR_MIN`] elements the dispatch overhead
-//! exceeds the work.
+//! `axpy`, `scale_inplace`), the ReLU-family activations, and the
+//! `par_map`/`par_zip_map` combinators run across the worker pool for
+//! large tensors, in fixed-size chunks so results do not depend on the
+//! thread count. Small tensors stay on the sequential path — below
+//! [`PAR_MIN`] elements the dispatch overhead exceeds the work.
+//!
+//! The same-shape binary ops, accumulators, and activations bottom out
+//! in the ISA-dispatched kernels of [`crate::simd`]: vectorised on
+//! AVX2/NEON hosts, with a portable path that is bit-identical by
+//! construction (see that module's docs).
 
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 use crate::error::{Result, TensorError};
 use crate::pool;
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Elements per parallel chunk; fixed (never thread-derived) so chunk
@@ -20,31 +26,36 @@ const PAR_CHUNK: usize = 32 * 1024;
 /// Minimum element count before an elementwise op goes parallel.
 const PAR_MIN: usize = PAR_CHUNK;
 
+/// Same-shape binary op through the ISA-dispatched kernel, chunked over
+/// the pool for large tensors.
+fn simd_binary(a: &Tensor, b: &Tensor, op: simd::BinOp) -> Result<Tensor> {
+    debug_assert_eq!(a.shape(), b.shape());
+    let (da, db) = (a.as_slice(), b.as_slice());
+    let mut data = vec![0.0f32; da.len()];
+    if da.len() >= PAR_MIN {
+        pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+            let off = ci * PAR_CHUNK;
+            simd::binary(
+                op,
+                &da[off..off + chunk.len()],
+                &db[off..off + chunk.len()],
+                chunk,
+            );
+        });
+    } else {
+        simd::binary(op, da, db, &mut data);
+    }
+    Tensor::from_vec(data, a.shape().clone())
+}
+
 /// Computes `out[i] = f(a[bcast(i)], b[bcast(i)])` over the broadcast shape.
+/// The same-shape fast path goes through [`simd_binary`] instead.
 fn broadcast_binary(
     a: &Tensor,
     b: &Tensor,
     op: &'static str,
     f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
-    if a.shape() == b.shape() {
-        // Fast path: identical shapes.
-        let (da, db) = (a.as_slice(), b.as_slice());
-        let mut data = vec![0.0f32; da.len()];
-        if da.len() >= PAR_MIN {
-            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
-                let off = ci * PAR_CHUNK;
-                for (i, v) in chunk.iter_mut().enumerate() {
-                    *v = f(da[off + i], db[off + i]);
-                }
-            });
-        } else {
-            for ((v, &x), &y) in data.iter_mut().zip(da).zip(db) {
-                *v = f(x, y);
-            }
-        }
-        return Tensor::from_vec(data, a.shape().clone());
-    }
     let out_shape = a
         .shape()
         .broadcast(b.shape())
@@ -102,6 +113,9 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes are not
     /// broadcast-compatible.
     pub fn try_add(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape() == other.shape() {
+            return simd_binary(self, other, simd::BinOp::Add);
+        }
         broadcast_binary(self, other, "add", |a, b| a + b)
     }
 
@@ -111,6 +125,9 @@ impl Tensor {
     ///
     /// See [`try_add`](Self::try_add).
     pub fn try_sub(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape() == other.shape() {
+            return simd_binary(self, other, simd::BinOp::Sub);
+        }
         broadcast_binary(self, other, "sub", |a, b| a - b)
     }
 
@@ -120,6 +137,9 @@ impl Tensor {
     ///
     /// See [`try_add`](Self::try_add).
     pub fn try_mul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape() == other.shape() {
+            return simd_binary(self, other, simd::BinOp::Mul);
+        }
         broadcast_binary(self, other, "mul", |a, b| a * b)
     }
 
@@ -129,6 +149,9 @@ impl Tensor {
     ///
     /// See [`try_add`](Self::try_add).
     pub fn try_div(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape() == other.shape() {
+            return simd_binary(self, other, simd::BinOp::Div);
+        }
         broadcast_binary(self, other, "div", |a, b| a / b)
     }
 
@@ -160,14 +183,10 @@ impl Tensor {
         if dst.len() >= PAR_MIN {
             pool::parallel_chunks_mut(dst, PAR_CHUNK, |ci, chunk| {
                 let off = ci * PAR_CHUNK;
-                for (i, a) in chunk.iter_mut().enumerate() {
-                    *a += src[off + i];
-                }
+                simd::add_assign(chunk, &src[off..off + chunk.len()]);
             });
         } else {
-            for (a, &b) in dst.iter_mut().zip(src) {
-                *a += b;
-            }
+            simd::add_assign(dst, src);
         }
         Ok(())
     }
@@ -191,14 +210,10 @@ impl Tensor {
         if dst.len() >= PAR_MIN {
             pool::parallel_chunks_mut(dst, PAR_CHUNK, |ci, chunk| {
                 let off = ci * PAR_CHUNK;
-                for (i, a) in chunk.iter_mut().enumerate() {
-                    *a += alpha * src[off + i];
-                }
+                simd::axpy(alpha, chunk, &src[off..off + chunk.len()]);
             });
         } else {
-            for (a, &b) in dst.iter_mut().zip(src) {
-                *a += alpha * b;
-            }
+            simd::axpy(alpha, dst, src);
         }
         Ok(())
     }
@@ -208,15 +223,103 @@ impl Tensor {
         let dst = self.as_mut_slice();
         if dst.len() >= PAR_MIN {
             pool::parallel_chunks_mut(dst, PAR_CHUNK, |_, chunk| {
-                for v in chunk.iter_mut() {
-                    *v *= s;
-                }
+                simd::scale(chunk, s);
             });
         } else {
-            for v in dst.iter_mut() {
-                *v *= s;
-            }
+            simd::scale(dst, s);
         }
+    }
+
+    /// Elementwise ReLU: `max(x, 0)` computed as a compare-and-select so
+    /// NaN and `-0.0` inputs map to `+0.0` on every ISA. SIMD-dispatched
+    /// and chunk-parallel for large tensors.
+    pub fn relu(&self) -> Tensor {
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; src.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                simd::relu(&src[off..off + chunk.len()], chunk);
+            });
+        } else {
+            simd::relu(src, &mut data);
+        }
+        Tensor::from_vec(data, self.shape().clone()).expect("relu preserves length")
+    }
+
+    /// ReLU backward: `self` is the cached forward *output* `y`; returns
+    /// `grad` where `y > 0`, zero elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn relu_backward(&self, grad: &Tensor) -> Result<Tensor> {
+        if self.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().clone(),
+                rhs: grad.shape().clone(),
+                op: "relu_backward",
+            });
+        }
+        let (y, g) = (self.as_slice(), grad.as_slice());
+        let mut data = vec![0.0f32; y.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                simd::relu_grad(&y[off..off + chunk.len()], &g[off..off + chunk.len()], chunk);
+            });
+        } else {
+            simd::relu_grad(y, g, &mut data);
+        }
+        Tensor::from_vec(data, self.shape().clone())
+    }
+
+    /// Elementwise leaky ReLU: `x` where `x > 0`, `alpha * x` elsewhere.
+    /// SIMD-dispatched and chunk-parallel for large tensors.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; src.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                simd::leaky_relu(alpha, &src[off..off + chunk.len()], chunk);
+            });
+        } else {
+            simd::leaky_relu(alpha, src, &mut data);
+        }
+        Tensor::from_vec(data, self.shape().clone()).expect("leaky_relu preserves length")
+    }
+
+    /// Leaky ReLU backward: `self` is the cached forward *input* `x`;
+    /// returns `grad` where `x > 0`, `alpha * grad` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn leaky_relu_backward(&self, alpha: f32, grad: &Tensor) -> Result<Tensor> {
+        if self.shape() != grad.shape() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().clone(),
+                rhs: grad.shape().clone(),
+                op: "leaky_relu_backward",
+            });
+        }
+        let (x, g) = (self.as_slice(), grad.as_slice());
+        let mut data = vec![0.0f32; x.len()];
+        if data.len() >= PAR_MIN {
+            pool::parallel_chunks_mut(&mut data, PAR_CHUNK, |ci, chunk| {
+                let off = ci * PAR_CHUNK;
+                simd::leaky_relu_grad(
+                    alpha,
+                    &x[off..off + chunk.len()],
+                    &g[off..off + chunk.len()],
+                    chunk,
+                );
+            });
+        } else {
+            simd::leaky_relu_grad(alpha, x, g, &mut data);
+        }
+        Tensor::from_vec(data, self.shape().clone())
     }
 
     /// Like [`map`](Self::map), but fans large tensors out across the
@@ -562,6 +665,26 @@ mod tests {
         let r3 = reduce_broadcast(&g, &Shape::scalar()).unwrap();
         assert_eq!(r3.item(), 15.0);
         assert!(reduce_broadcast(&g, &Shape::from([4])).is_err());
+    }
+
+    #[test]
+    fn relu_family() {
+        let x = Tensor::from_vec(vec![-2.0, -0.0, 0.0, 3.0, f32::NAN], [5]).unwrap();
+        let y = x.relu();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.0, 3.0, 0.0]);
+        assert_eq!(y.as_slice()[1].to_bits(), 0.0f32.to_bits(), "-0.0 -> +0.0");
+
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0], [5]).unwrap();
+        let dy = y.relu_backward(&g).unwrap();
+        assert_eq!(dy.as_slice(), &[0.0, 0.0, 0.0, 4.0, 0.0]);
+        assert!(y.relu_backward(&Tensor::ones([4])).is_err());
+
+        let ly = x.leaky_relu(0.1);
+        assert_eq!(&ly.as_slice()[..4], &[-0.2, 0.0, 0.0, 3.0]);
+        assert!(ly.as_slice()[4].is_nan(), "leaky relu propagates NaN");
+        let ldx = x.leaky_relu_backward(0.1, &g).unwrap();
+        assert_eq!(&ldx.as_slice()[..4], &[0.1, 0.2, 0.3, 4.0]);
+        assert!(x.leaky_relu_backward(0.1, &Tensor::ones([4])).is_err());
     }
 
     #[test]

@@ -1,36 +1,58 @@
-//! Matrix multiplication kernels: packed, cache-blocked, multi-threaded.
+//! Matrix multiplication: packed, register-blocked, multi-threaded.
 //!
-//! All three GEMM variants decompose the output into fixed 64-row panels
-//! that the worker pool ([`crate::pool`]) distributes over threads; the
-//! panel size never depends on the thread count and each panel writes a
-//! disjoint output region, so results are **bit-identical for every
-//! `MEDSPLIT_THREADS` value** (including the single-thread fallback,
-//! which matches the original sequential kernel bit-for-bit — per output
-//! element the inner dimension is accumulated in ascending order exactly
-//! as before).
+//! All three GEMM variants (`C = A·B`, `Aᵀ·B`, `A·Bᵀ`) run through one
+//! strided driver:
 //!
-//! Within a panel the kernels are cache-blocked over the inner dimension
-//! (`KC`) and, for wide outputs, over columns (`NC`), with the active
-//! `B`-strip packed into a thread-local scratch buffer
-//! ([`crate::scratch`]) so the innermost loops stream contiguous memory.
-//! `matmul_tn` packs the transposed `A`-panel the same way, turning its
-//! stride-`m` column walks into unit-stride loads. The inner loops carry
-//! no data-dependent branches (the historical `aval == 0.0` skip defeated
-//! auto-vectorisation on dense activations and was removed).
+//! 1. **Whole-B pack** — B is packed once per call into microkernel
+//!    order ([`microkernel::NR`]-wide column tiles, depth-major within a
+//!    tile) in a 64-byte-aligned scratch buffer, in parallel over tiles.
+//!    Every row panel then reuses the same packed B, so packing cost is
+//!    amortised over all of `m` (the old per-strip scheme repacked B for
+//!    every panel, which sank small-`m`/large-`n` shapes).
+//! 2. **Row panels** — the output is split into fixed [`BLOCK`]-row
+//!    panels distributed over the worker pool ([`crate::pool`]). The
+//!    panel size never depends on the thread count and each panel writes
+//!    a disjoint output region, so results are **bit-identical for every
+//!    `MEDSPLIT_THREADS` value**.
+//! 3. **Microkernel** — within a panel, [`microkernel::MR`]-row blocks
+//!    of A are packed and streamed through the register-blocked tile
+//!    kernel selected by [`crate::simd::active_isa`] (AVX2+FMA, NEON, or
+//!    the portable reference). The inner (`k`) dimension is blocked by
+//!    [`kc_block`] — sized from the shape, not a constant, so no shape
+//!    pays for a mis-fitted panel. Edge tiles stage through an on-stack
+//!    `MR×NR` buffer so every path runs the identical kernel.
+//!
+//! Per output element the math is a fused multiply-add per depth step in
+//! ascending `k` order on every ISA (see [`microkernel`]), so outputs
+//! are also bit-identical across `MEDSPLIT_ISA` settings. Splitting `k`
+//! into blocks does not change that order: the partial sum parked in `C`
+//! between blocks is the same `f32` the register held.
 
 use crate::error::{Result, TensorError};
+use crate::ops::microkernel::{self, MR, NR};
 use crate::pool;
 use crate::scratch;
 use crate::tensor::Tensor;
 
 /// Output row-panel height: the unit of parallel work distribution.
 /// Fixed (never derived from the thread count) to keep results
-/// bit-identical across pool sizes.
-const BLOCK: usize = 64;
-/// Cache block over the inner (`k`) dimension.
-const KC: usize = 128;
-/// Column-strip width above which the active `B` strip is packed.
-const NC: usize = 512;
+/// bit-identical across pool sizes; a multiple of [`MR`] so only the
+/// final panel sees partial row blocks.
+const BLOCK: usize = 11 * MR; // 66
+
+/// Upper bound on the inner-dimension block: `kc·NR` floats of packed B
+/// plus `kc·MR` of packed A stay comfortably inside a 32 KiB L1 at 320.
+const KC_MAX: usize = 320;
+
+/// Inner-dimension block size for depth `k`: the smallest even split of
+/// `k` whose blocks fit [`KC_MAX`]. Balanced blocks (e.g. `512 → 256`,
+/// not `320 + 192`) keep per-block work uniform; deriving the size from
+/// the shape fixed the small-`m`/large-`k` shapes the old constant
+/// mis-sized.
+fn kc_block(k: usize) -> usize {
+    debug_assert!(k > 0);
+    k.div_ceil(k.div_ceil(KC_MAX))
+}
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -43,103 +65,124 @@ fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// `crow[..] += aval * brow[..]` — the shared vectorisable inner loop.
-#[inline(always)]
-fn axpy_row(crow: &mut [f32], aval: f32, brow: &[f32]) {
-    for (cv, &bv) in crow.iter_mut().zip(brow) {
-        *cv += aval * bv;
+/// The shared GEMM driver: `C (+)= opA(A) · opB(B)` where the logical
+/// operands are described by row/column strides into the stored buffers
+/// (`(k, 1)`/`(n, 1)` for untransposed row-major A/B; `(1, m)`/`(1, k)`
+/// for transposed). When `accumulate` is false each output panel is
+/// zeroed first; otherwise C must hold the partial sum to extend.
+#[allow(clippy::too_many_arguments)]
+fn gemm_strided(
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    b: &[f32],
+    brs: usize,
+    bcs: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
     }
-}
-
-/// `C += A · B` over one row panel (`rows` rows of `A`/`C` starting at
-/// global row `i0`), cache-blocked and packed. `C` must be zeroed by the
-/// caller (or hold a partial sum to accumulate onto).
-fn gemm_panel(a: &[f32], b: &[f32], c_panel: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
-    if n > NC {
-        // Wide output: pack the active KC×NC strip of B so the inner loop
-        // streams one cache-resident buffer.
-        scratch::with_f32(KC * NC, |pack| {
-            for kb in (0..k).step_by(KC) {
-                let kc = (k - kb).min(KC);
-                for jb in (0..n).step_by(NC) {
-                    let nc = (n - jb).min(NC);
-                    for p in 0..kc {
-                        let src = (kb + p) * n + jb;
-                        pack[p * nc..(p + 1) * nc].copy_from_slice(&b[src..src + nc]);
-                    }
-                    for ii in 0..rows {
-                        let arow = &a[(i0 + ii) * k + kb..(i0 + ii) * k + kb + kc];
-                        let crow = &mut c_panel[ii * n + jb..ii * n + jb + nc];
-                        for (p, &aval) in arow.iter().enumerate() {
-                            axpy_row(crow, aval, &pack[p * nc..(p + 1) * nc]);
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let kernel = microkernel::tile_kernel();
+    let nt = n.div_ceil(NR);
+    let kc = kc_block(k);
+    scratch::with_f32(nt * k * NR, |bpack| {
+        // Pack all of B once, in parallel over NR-wide column tiles.
+        // Tile `jt` occupies `bpack[jt*k*NR ..][.. k*NR]`, depth-major,
+        // zero-padded past column `n`; every `kb*NR` offset is 64-byte
+        // aligned (NR floats = one cache line), which the AVX2 kernel's
+        // aligned B loads rely on.
+        pool::parallel_chunks_mut(bpack, k * NR, |jt, tile| {
+            let j0 = jt * NR;
+            microkernel::pack_b_tile(b, brs, bcs, j0, NR.min(n - j0), k, tile);
+        });
+        let bpack: &[f32] = bpack;
+        pool::parallel_chunks_mut(c, BLOCK * n, |pi, panel| {
+            let i0 = pi * BLOCK;
+            let rows = panel.len() / n;
+            if !accumulate {
+                panel.fill(0.0);
+            }
+            scratch::with_f32(k * MR, |apack| {
+                for ib in (0..rows).step_by(MR) {
+                    let mr = (rows - ib).min(MR);
+                    microkernel::pack_a_panel(a, ars, acs, i0 + ib, mr, k, apack);
+                    for kb in (0..k).step_by(kc) {
+                        let kcur = (k - kb).min(kc);
+                        let ap = apack[kb * MR..].as_ptr();
+                        for jt in 0..nt {
+                            let j0 = jt * NR;
+                            let cols = NR.min(n - j0);
+                            let bp = bpack[jt * k * NR + kb * NR..].as_ptr();
+                            if mr == MR && cols == NR {
+                                // SAFETY: the full MR×NR tile at
+                                // `panel[ib*n + j0]` with row stride `n`
+                                // is in bounds; packs are sized `k*MR` /
+                                // `k*NR` past the `kb` offsets; `bp` is
+                                // 64-byte aligned (see above); `kernel`
+                                // came from `tile_kernel()` so the ISA
+                                // is available.
+                                unsafe { kernel(kcur, ap, bp, panel.as_mut_ptr().add(ib * n + j0), n) };
+                            } else {
+                                // Edge tile: stage through a full MR×NR
+                                // buffer (valid C in the live region,
+                                // zeros elsewhere; the packs are zero-
+                                // padded so dead lanes accumulate 0) and
+                                // run the identical kernel — same
+                                // per-element op order as interior tiles.
+                                let mut stage = [0.0f32; MR * NR];
+                                for (r, srow) in stage.chunks_exact_mut(NR).enumerate().take(mr) {
+                                    let co = (ib + r) * n + j0;
+                                    srow[..cols].copy_from_slice(&panel[co..co + cols]);
+                                }
+                                // SAFETY: `stage` is a full MR×NR tile
+                                // with ldc = NR; pack bounds as above.
+                                // (The AVX2 kernel loads B aligned; the
+                                // stage buffer is only ever C.)
+                                unsafe { kernel(kcur, ap, bp, stage.as_mut_ptr(), NR) };
+                                for (r, srow) in stage.chunks_exact(NR).enumerate().take(mr) {
+                                    let co = (ib + r) * n + j0;
+                                    panel[co..co + cols].copy_from_slice(&srow[..cols]);
+                                }
+                            }
                         }
                     }
                 }
-            }
+            });
         });
-    } else {
-        // Narrow output: B rows are short and already contiguous.
-        for kb in (0..k).step_by(KC) {
-            let kc = (k - kb).min(KC);
-            for ii in 0..rows {
-                let arow = &a[(i0 + ii) * k + kb..(i0 + ii) * k + kb + kc];
-                let crow = &mut c_panel[ii * n..(ii + 1) * n];
-                for (p, &aval) in arow.iter().enumerate() {
-                    axpy_row(crow, aval, &b[(kb + p) * n..(kb + p + 1) * n]);
-                }
-            }
-        }
-    }
+    });
 }
 
-/// `C = A · B` for row-major buffers; `c` must be zeroed.
-/// Parallelised over 64-row output panels.
+/// `C += A · B` for row-major buffers; `c` must be zeroed (or hold a
+/// partial sum to accumulate onto). Parallelised over row panels.
 pub(crate) fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
-        let rows = panel.len() / n.max(1);
-        gemm_panel(a, b, panel, pi * BLOCK, rows, k, n);
-    });
+    gemm_strided(a, k, 1, b, n, 1, c, m, k, n, true);
 }
 
-/// `C = Aᵀ · B` with `a` stored `[k, m]`; `c` (`[m, n]`) must be zeroed.
-/// The transposed `A` panel is packed into scratch so the inner loops are
-/// unit-stride despite the column walk.
+/// `C += Aᵀ · B` with `a` stored `[k, m]`; `c` (`[m, n]`) must be zeroed
+/// (or hold a partial sum). The strided packing reads Aᵀ in place — no
+/// transpose is materialised.
 pub(crate) fn gemm_tn_into(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
-        let i0 = pi * BLOCK;
-        let rows = panel.len() / n.max(1);
-        scratch::with_f32(BLOCK * KC, |packa| {
-            for kb in (0..k).step_by(KC) {
-                let kc = (k - kb).min(KC);
-                // packa[ii * kc + p] = a[(kb + p) * m + i0 + ii]:
-                // sequential reads along A's rows, cache-resident writes.
-                for p in 0..kc {
-                    let arow = &a[(kb + p) * m + i0..(kb + p) * m + i0 + rows];
-                    for (ii, &av) in arow.iter().enumerate() {
-                        packa[ii * kc + p] = av;
-                    }
-                }
-                for ii in 0..rows {
-                    let arow = &packa[ii * kc..ii * kc + kc];
-                    let crow = &mut panel[ii * n..(ii + 1) * n];
-                    for (p, &aval) in arow.iter().enumerate() {
-                        axpy_row(crow, aval, &b[(kb + p) * n..(kb + p + 1) * n]);
-                    }
-                }
-            }
-        });
-    });
+    gemm_strided(a, 1, m, b, n, 1, c, m, k, n, true);
 }
 
 /// `C = A · Bᵀ` (or `C += A · Bᵀ` when `accumulate`) with `b` stored
-/// `[n, k]`. Each output element is an independent dot product, so the
-/// panels need no packing — both operand rows are already contiguous.
+/// `[n, k]`. The strided packing reads Bᵀ in place.
 pub(crate) fn gemm_nt_into(
     a: &[f32],
     b: &[f32],
@@ -151,27 +194,7 @@ pub(crate) fn gemm_nt_into(
 ) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    pool::parallel_chunks_mut(c, BLOCK * n.max(1), |pi, panel| {
-        let i0 = pi * BLOCK;
-        let rows = panel.len() / n.max(1);
-        for ii in 0..rows {
-            let arow = &a[(i0 + ii) * k..(i0 + ii) * k + k];
-            let crow = &mut panel[ii * n..(ii + 1) * n];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                if accumulate {
-                    *cv += acc;
-                } else {
-                    *cv = acc;
-                }
-            }
-        }
-    });
+    gemm_strided(a, k, 1, b, 1, k, c, m, k, n, accumulate);
 }
 
 impl Tensor {
@@ -376,47 +399,119 @@ mod tests {
     }
 
     #[test]
-    fn blocked_kernel_matches_naive_on_larger_sizes() {
-        // Exceed BLOCK and KC to exercise panelling and k-blocking.
-        let m = 70;
-        let k = 150;
-        let n = 72;
-        let a = Tensor::from_vec(
-            (0..m * k).map(|i| ((i * 37 % 101) as f32) / 50.0 - 1.0).collect(),
-            [m, k],
-        )
-        .unwrap();
-        let b = Tensor::from_vec(
-            (0..k * n).map(|i| ((i * 53 % 97) as f32) / 40.0 - 1.2).collect(),
-            [k, n],
-        )
-        .unwrap();
-        let c = a.matmul(&b).unwrap();
-        // Naive reference for a few spot positions.
-        for &(i, j) in &[(0, 0), (m - 1, n - 1), (35, 41), (17, 3)] {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+    fn kc_blocks_are_balanced_and_bounded() {
+        for k in [1usize, 5, 64, 320, 321, 512, 784, 1024, 5000] {
+            let kc = kc_block(k);
+            assert!((1..=KC_MAX).contains(&kc), "kc_block({k}) = {kc}");
+            // Balanced: uses exactly as many blocks as the cap requires.
+            assert_eq!(k.div_ceil(kc), k.div_ceil(KC_MAX), "kc_block({k}) = {kc}");
+            // And no block is more than one step larger than the last.
+            let last = k - (k.div_ceil(kc) - 1) * kc;
+            assert!(kc - last < kc.max(2), "degenerate trailing block for k={k}");
+        }
+        assert_eq!(kc_block(512), 256);
+    }
+
+    fn pseudo(seed: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32) / 499.0 - 1.0)
+            .collect()
+    }
+
+    /// Per-element fused reference: ascending-`k` `mul_add` — the exact
+    /// op sequence every kernel path (interior, edge-staged, any KC
+    /// split, any ISA) must reproduce bit-for-bit.
+    fn fused_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = a[i * k + p].mul_add(b[p * n + j], acc);
+                }
+                c[i * n + j] = acc;
             }
-            let got = c.as_slice()[i * n + j];
-            assert!((acc - got).abs() < 1e-2, "mismatch at ({i},{j}): {acc} vs {got}");
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_bit_matches_fused_reference() {
+        // Shapes chosen to hit: edge row blocks (m % MR != 0), edge
+        // column tiles (n % NR != 0), multiple row panels (m > BLOCK),
+        // multiple KC blocks (k > KC_MAX), and tiny everything.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (MR, 7, NR),
+            (MR + 1, 7, NR + 1),
+            (70, 150, 72),
+            (BLOCK + 5, KC_MAX + 9, 2 * NR + 3),
+        ] {
+            let a = pseudo(m * 31 + 1, m * k);
+            let b = pseudo(n * 17 + 2, k * n);
+            let expect = fused_reference(&a, &b, m, k, n);
+            let mut c = vec![0.0f32; m * n];
+            gemm_into(&a, &b, &mut c, m, k, n);
+            assert_eq!(
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "gemm ({m}x{k}x{n}) diverged from the fused reference"
+            );
         }
     }
 
     #[test]
-    fn wide_output_takes_the_packed_path() {
-        // n > NC forces the B-strip packing branch; compare against the
-        // narrow-path result computed column-block by column-block.
-        let (m, k, n) = (3, 33, NC + 17);
-        let mk = |seed: usize, len: usize| -> Vec<f32> {
-            (0..len)
-                .map(|i| ((i.wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32) / 499.0 - 1.0)
-                .collect()
-        };
-        let a = Tensor::from_vec(mk(1, m * k), [m, k]).unwrap();
-        let b = Tensor::from_vec(mk(2, k * n), [k, n]).unwrap();
+    fn gemm_variants_agree_with_nn_layouts() {
+        let (m, k, n) = (13usize, 37usize, 21usize);
+        let a = pseudo(3, m * k);
+        let b = pseudo(4, k * n);
+        let expect = fused_reference(&a, &b, m, k, n);
+
+        // TN: store A as [k, m] (the transpose of `a`).
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_tn_into(&at, &b, &mut c, k, m, n);
+        assert_eq!(c, expect, "gemm_tn");
+
+        // NT: store B as [n, k] (the transpose of `b`).
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c = vec![1.0f32; m * n]; // non-zero: !accumulate must overwrite
+        gemm_nt_into(&a, &bt, &mut c, m, n, k, false);
+        assert_eq!(c, expect, "gemm_nt overwrite");
+
+        // NT accumulate extends the partial sum.
+        gemm_nt_into(&a, &bt, &mut c, m, n, k, true);
+        let doubled: Vec<f32> = expect
+            .iter()
+            .zip(&c)
+            .map(|(&e, &g)| {
+                assert!((g - 2.0 * e).abs() <= 1e-4 * e.abs().max(1.0));
+                g
+            })
+            .collect();
+        assert_eq!(doubled.len(), m * n);
+    }
+
+    #[test]
+    fn wide_output_reuses_the_shared_b_pack() {
+        // A small-m / large-n shape (the class that regressed under the
+        // old per-panel strip packing) against spot-checked naive values.
+        let (m, k, n) = (3usize, 33usize, 1041usize);
+        let a = Tensor::from_vec(pseudo(1, m * k), [m, k]).unwrap();
+        let b = Tensor::from_vec(pseudo(2, k * n), [k, n]).unwrap();
         let c = a.matmul(&b).unwrap();
-        for &(i, j) in &[(0, 0), (2, n - 1), (1, NC), (2, NC - 1)] {
+        for &(i, j) in &[(0usize, 0usize), (2, n - 1), (1, 512), (2, 511)] {
             let mut acc = 0.0f32;
             for p in 0..k {
                 acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];

@@ -3,6 +3,7 @@
 pub mod conv;
 pub mod elementwise;
 pub mod matmul;
+pub(crate) mod microkernel;
 pub mod pool;
 pub mod reduce;
 

@@ -33,7 +33,7 @@
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Barrier, Condvar, Mutex, OnceLock};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -235,6 +235,91 @@ pub fn parallel_for<F: Fn(usize) + Sync>(tasks: usize, body: F) {
     }
 }
 
+/// Runs `body` once on the calling thread and once on **every** spawned
+/// pool worker — not just the workers the current thread target would
+/// use. A barrier inside the broadcast keeps each worker pinned until
+/// all of them have run the closure, which is what guarantees full
+/// coverage: no worker can grab two copies while another sits idle.
+///
+/// This exists to warm per-thread state, above all the thread-local
+/// scratch arena ([`crate::scratch`]): jobs are claimed from a shared
+/// channel by *any* spawned worker, so a warm-up that merely runs a
+/// kernel once only warms whichever workers happened to win that race.
+/// Benchmarks and steady-state-allocation tests call this with the
+/// kernel under measurement before the timed region. Nested
+/// [`parallel_for`] calls inside `body` run inline on every thread
+/// (including the caller), so one broadcast of e.g. a conv forward warms
+/// the full nested acquisition pattern on every arena.
+pub fn warmup(f: impl Fn() + Sync) {
+    // Make sure the workers the current target implies exist, then
+    // broadcast to every worker ever spawned (there may be more).
+    let threads = num_threads();
+    let p = pool();
+    ensure_workers(p, threads.saturating_sub(1));
+    let spawned = *p.spawned.lock().unwrap();
+    if spawned == 0 {
+        f();
+        return;
+    }
+    let barrier = Barrier::new(spawned + 1);
+    /// Reaches the barrier even if `f` panics on a worker (the panic is
+    /// caught by `run_tasks`; without the guard the caller would block
+    /// forever waiting for the missing arrival).
+    struct ArriveGuard<'a>(&'a Barrier);
+    impl Drop for ArriveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.wait();
+        }
+    }
+    let body = |_t: usize| {
+        let _arrive = ArriveGuard(&barrier);
+        f();
+    };
+    let state = Arc::new(JobState {
+        next: AtomicUsize::new(0),
+        total: spawned,
+        remaining: Mutex::new(spawned),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let wide: &(dyn Fn(usize) + Sync) = &body;
+    // SAFETY: erases the borrow's lifetime; as in `parallel_for`, the
+    // completion latch below keeps the closure alive until every worker
+    // has finished its copy.
+    let task: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide) };
+    for _ in 0..spawned {
+        if p.tx
+            .send(Job {
+                task,
+                state: Arc::clone(&state),
+            })
+            .is_err()
+        {
+            panic!("pool channel closed");
+        }
+    }
+    // Run `f` locally with the worker flag set so nested parallel_for
+    // calls stay inline — the workers are all parked at the barrier and
+    // could not help anyway.
+    let was_worker = IN_WORKER.with(Cell::get);
+    IN_WORKER.with(|w| w.set(true));
+    let local = catch_unwind(AssertUnwindSafe(&f));
+    IN_WORKER.with(|w| w.set(was_worker));
+    barrier.wait();
+    let mut rem = state.remaining.lock().unwrap();
+    while *rem > 0 {
+        rem = state.done.wait(rem).unwrap();
+    }
+    drop(rem);
+    if let Err(payload) = local {
+        std::panic::resume_unwind(payload);
+    }
+    if state.panicked.load(Ordering::Relaxed) {
+        panic!("pool::warmup: the warm-up closure panicked on a worker");
+    }
+}
+
 /// Splits `data` into fixed-size chunks and runs `body(chunk_idx, chunk)`
 /// for each across the pool. The chunk size must not depend on the thread
 /// count if deterministic results are wanted (every kernel here passes a
@@ -369,6 +454,44 @@ mod tests {
         });
         set_num_threads(1);
         assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn warmup_covers_every_spawned_worker_and_the_caller() {
+        let _g = LOCK.lock().unwrap();
+        // Spawn three helpers, then shrink the logical target: warmup
+        // must still reach all spawned workers, not just the target's.
+        set_num_threads(4);
+        parallel_for(8, |_| {});
+        set_num_threads(2);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        warmup(|| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        set_num_threads(1);
+        assert!(
+            ids.lock().unwrap().len() >= 4,
+            "warmup reached only {} threads",
+            ids.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn warmup_runs_nested_parallel_for_inline() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(2);
+        parallel_for(4, |_| {});
+        let total = AtomicUsize::new(0);
+        // Workers are parked at the warmup barrier; a nested parallel_for
+        // must run inline everywhere or this deadlocks.
+        warmup(|| {
+            parallel_for(4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        set_num_threads(1);
+        // Caller + at least one worker each ran all four nested tasks.
+        assert!(total.load(Ordering::Relaxed) >= 8);
     }
 
     #[test]

@@ -2,23 +2,32 @@
 //!
 //! The im2col/col2im convolution path and the packed GEMM kernels need
 //! large temporary `f32` buffers (`[C*KH*KW, OH*OW]` column matrices,
-//! `KC×NC` B-panels). Allocating them fresh every call dominated the
-//! allocator profile of a training round, so they are drawn from a
-//! grow-only, thread-local arena instead: after one warm-up step over a
-//! given model, steady-state training and inference perform **zero**
-//! scratch heap allocations — a property the test suite asserts via
-//! [`stats`].
+//! microkernel-order packing panels). Allocating them fresh every call
+//! dominated the allocator profile of a training round, so they are drawn
+//! from a grow-only, thread-local arena instead: after one warm-up step
+//! over a given model, steady-state training and inference perform
+//! **zero** scratch heap allocations — a property the test suite asserts
+//! via [`stats`]. A warm-up must touch *every* pool worker's arena to
+//! count; [`crate::pool::warmup`] broadcasts a closure across the whole
+//! pool for exactly that purpose.
 //!
-//! The arena is a LIFO stack of buffers per thread. Nested acquisitions
-//! (a conv task holding its column buffer while the inner GEMM grabs a
-//! pack buffer) release in reverse order, so each nesting level keeps
-//! hitting the same cached buffer and sizes stabilise after warm-up.
-//! Buffers hand out **uninitialised-looking** contents (stale data from
-//! prior uses); every kernel here fully overwrites or explicitly zeroes
-//! what it reads.
+//! Buffers are **64-byte aligned** (cache line, and comfortably above the
+//! 32-byte AVX2 requirement) so the SIMD microkernels can use aligned
+//! vector loads on packed panels. The arena is a LIFO stack of buffers
+//! per thread. Nested acquisitions (a conv task holding its column buffer
+//! while the inner GEMM grabs a pack buffer) release in reverse order, so
+//! each nesting level keeps hitting the same cached buffer and sizes
+//! stabilise after warm-up. Buffers hand out **uninitialised-looking**
+//! contents (stale data from prior uses, zero on first allocation); every
+//! kernel here fully overwrites or explicitly zeroes what it reads.
 
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::cell::RefCell;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Alignment of every arena buffer, in bytes.
+pub const ALIGN: usize = 64;
 
 /// Number of buffer-growth events (heap allocations) since process start.
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -27,9 +36,84 @@ static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Number of `with_f32` acquisitions since process start.
 static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
 
+/// A 64-byte-aligned, grow-only `f32` allocation. Contents beyond what a
+/// caller last wrote are arbitrary (zero on first allocation).
+struct AlignedBuf {
+    ptr: NonNull<f32>,
+    /// Capacity in `f32` elements (0 for the empty sentinel).
+    cap: usize,
+}
+
+impl AlignedBuf {
+    const fn empty() -> Self {
+        AlignedBuf {
+            ptr: NonNull::dangling(),
+            cap: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> Layout {
+        Layout::from_size_align(cap * std::mem::size_of::<f32>(), ALIGN).expect("scratch buffer layout")
+    }
+
+    /// Grows the buffer to at least `len` elements. Contents are not
+    /// preserved (the arena contract hands out arbitrary contents), so
+    /// growth is a fresh zeroed allocation plus a free — zeroing keeps
+    /// the handed-out memory initialised without a per-acquisition cost.
+    fn ensure(&mut self, len: usize) {
+        if self.cap >= len {
+            return;
+        }
+        let layout = Self::layout(len);
+        // SAFETY: `len > 0` here (cap >= 0 and cap < len), so the layout
+        // has non-zero size as `alloc_zeroed` requires.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout)
+        };
+        if self.cap > 0 {
+            // SAFETY: `self.ptr` came from `alloc_zeroed` with the layout
+            // of the old capacity and has not been freed.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        }
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(
+            ((len - self.cap) * std::mem::size_of::<f32>()) as u64,
+            Ordering::Relaxed,
+        );
+        self.ptr = ptr;
+        self.cap = len;
+        medsplit_telemetry::gauge_set(
+            "scratch.allocated_bytes",
+            ALLOCATED_BYTES.load(Ordering::Relaxed) as f64,
+        );
+    }
+
+    /// Views the first `len` elements mutably.
+    ///
+    /// # Safety
+    ///
+    /// `len <= self.cap`, and the caller must be the unique owner of the
+    /// buffer for the borrow's duration (guaranteed by popping it off the
+    /// thread-local free list).
+    unsafe fn slice_mut(&mut self, len: usize) -> &mut [f32] {
+        debug_assert!(len <= self.cap);
+        std::slice::from_raw_parts_mut(self.ptr.as_ptr(), len)
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: allocated by `ensure` with this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        }
+    }
+}
+
 thread_local! {
     /// LIFO stack of free buffers for this thread.
-    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static FREE: RefCell<Vec<AlignedBuf>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A point-in-time snapshot of the arena's global counters (summed over
@@ -56,28 +140,22 @@ pub fn stats() -> ScratchStats {
     }
 }
 
-/// Runs `body` with a scratch `&mut [f32]` of exactly `len` elements.
+/// Runs `body` with a 64-byte-aligned scratch `&mut [f32]` of exactly
+/// `len` elements.
 ///
-/// Contents are arbitrary (not zeroed); the caller must fully initialise
-/// whatever it reads. Buffers are recycled LIFO per thread and only ever
-/// grow, so steady-state call patterns allocate nothing.
+/// Contents are arbitrary (zero on first allocation, stale afterwards);
+/// the caller must fully initialise whatever it reads. Buffers are
+/// recycled LIFO per thread and only ever grow, so steady-state call
+/// patterns allocate nothing.
 pub fn with_f32<R>(len: usize, body: impl FnOnce(&mut [f32]) -> R) -> R {
     ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
-    let mut buf = FREE.with(|free| free.borrow_mut().pop()).unwrap_or_default();
-    if buf.capacity() < len {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        ALLOCATED_BYTES.fetch_add(
-            ((len - buf.capacity()) * std::mem::size_of::<f32>()) as u64,
-            Ordering::Relaxed,
-        );
-        buf.reserve(len - buf.len());
-        medsplit_telemetry::gauge_set(
-            "scratch.allocated_bytes",
-            ALLOCATED_BYTES.load(Ordering::Relaxed) as f64,
-        );
-    }
-    buf.resize(len, 0.0);
-    let result = body(&mut buf[..len]);
+    let mut buf = FREE
+        .with(|free| free.borrow_mut().pop())
+        .unwrap_or_else(AlignedBuf::empty);
+    buf.ensure(len);
+    // SAFETY: `ensure` made `cap >= len`, and the buffer is off the free
+    // list so this borrow is unique.
+    let result = body(unsafe { buf.slice_mut(len) });
     FREE.with(|free| free.borrow_mut().push(buf));
     result
 }
@@ -125,5 +203,28 @@ mod tests {
         with_f32(3, |b| assert_eq!(b.len(), 3));
         with_f32(1000, |b| assert_eq!(b.len(), 1000));
         with_f32(0, |b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn buffers_are_simd_aligned() {
+        for len in [1usize, 7, 64, 1000, 4096] {
+            with_f32(len, |b| {
+                assert_eq!(
+                    b.as_ptr() as usize % ALIGN,
+                    0,
+                    "scratch buffer of {len} not {ALIGN}-byte aligned"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn fresh_allocations_are_zeroed() {
+        // A size larger than anything else on this thread forces a growth
+        // event, which reallocates the whole buffer; the contract promises
+        // the fresh allocation is zeroed, not garbage.
+        with_f32(1 << 20, |b| {
+            assert!(b.iter().all(|&v| v == 0.0));
+        });
     }
 }

@@ -2,13 +2,21 @@
 //!
 //! The worker pool's decomposition is derived from the problem shape, not
 //! the thread count, so every kernel is *bit-identical* across pool
-//! sizes — these tests pin that guarantee, compare the packed GEMM
-//! against an embedded copy of the seed repository's kernel, and assert
-//! the zero-steady-state-allocation property of the conv forward pass.
+//! sizes; the register-blocked microkernels perform the same per-element
+//! fused operations in the same order on every instruction set, so
+//! kernels are also bit-identical across `MEDSPLIT_ISA` settings. These
+//! tests pin both guarantees, compare the packed GEMM against an
+//! embedded copy of the seed repository's kernel (to the documented
+//! tolerance — the fused microkernels round once per step where the seed
+//! kernel rounds twice, so bit-equality with the seed is no longer the
+//! contract), and assert the zero-steady-state-allocation property of
+//! the conv forward pass, including when the warmup must reach every
+//! pool worker.
 //!
-//! `pool::set_num_threads` is process-global and the test harness runs
-//! tests concurrently, so every test here serialises on [`POOL_LOCK`]
-//! and restores one thread before releasing it.
+//! `pool::set_num_threads` and `simd::set_isa` are process-global and
+//! the test harness runs tests concurrently, so every test here
+//! serialises on [`POOL_LOCK`] and restores one thread / the detected
+//! ISA before releasing it.
 
 use std::sync::Mutex;
 
@@ -17,11 +25,23 @@ use medsplit::data::{InMemoryDataset, MinibatchPolicy, SyntheticTabular};
 use medsplit::nn::{Architecture, LrSchedule, MlpConfig};
 use medsplit::simnet::{MemoryTransport, StarTopology};
 use medsplit_tensor::ops::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
-use medsplit_tensor::{init::rng_from_seed, pool, scratch, Tensor};
+use medsplit_tensor::{init::rng_from_seed, pool, scratch, simd, Tensor};
 use proptest::prelude::*;
 
-/// Serialises every test that changes the global pool size.
+/// Serialises every test that changes the global pool size or ISA.
 static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once under the portable scalar ISA and once under the
+/// auto-detected one, restoring detection afterwards; returns both
+/// results for exact comparison.
+fn with_isas<R>(mut body: impl FnMut() -> R) -> (R, R) {
+    let _guard = POOL_LOCK.lock().unwrap();
+    assert!(simd::set_isa(simd::Isa::Scalar));
+    let scalar = body();
+    assert!(simd::set_isa(simd::detect()));
+    let native = body();
+    (scalar, native)
+}
 
 /// Runs `body` once per pool size, restoring a single thread afterwards.
 fn with_thread_counts<R>(counts: &[usize], mut body: impl FnMut(usize) -> R) -> Vec<R> {
@@ -107,10 +127,12 @@ proptest! {
         prop_assert_eq!(r1.2.as_slice(), r7.2.as_slice());
     }
 
-    /// The packed GEMM agrees with the seed kernel: bit-identical on one
-    /// thread, and within 1e-5 elementwise at any pool size (the packed
-    /// path reorders no per-element accumulation, so this is exact too —
-    /// the tolerance is the documented public contract).
+    /// The packed GEMM agrees with the seed kernel within the documented
+    /// 1e-5 relative tolerance at any pool size. (It is no longer
+    /// bit-identical to the seed: the microkernels fuse each
+    /// multiply-add into one rounding where the seed kernel rounds
+    /// twice. Bit-equality guarantees now run across thread counts and
+    /// ISAs, pinned by the other tests in this file.)
     #[test]
     fn packed_gemm_matches_seed_kernel((m, k, n) in gemm_dims()) {
         let mut rng = rng_from_seed((m * 31 + k * 7 + n) as u64 ^ 0xA5A5);
@@ -119,8 +141,6 @@ proptest! {
         let reference = seed_gemm(a.as_slice(), b.as_slice(), m, k, n);
 
         let runs = with_thread_counts(&[1, 2, 7], |_| a.matmul(&b).unwrap());
-        // One thread: bit-identical to the seed kernel.
-        prop_assert_eq!(runs[0].as_slice(), &reference[..]);
         for out in &runs {
             for (got, want) in out.as_slice().iter().zip(&reference) {
                 prop_assert!(
@@ -195,41 +215,142 @@ fn conv_forward_zero_allocations_after_warmup() {
     );
 }
 
+/// A small end-to-end split-training run; returns the per-round loss
+/// trajectory, which is a bit-level fingerprint of every kernel in the
+/// forward/backward/update path.
+fn run_split() -> Vec<f32> {
+    let all = SyntheticTabular::new(3, 6, 5).generate(60).unwrap();
+    let train: InMemoryDataset = all.subset(&(0..48).collect::<Vec<_>>()).unwrap();
+    let test = all.subset(&(48..60).collect::<Vec<_>>()).unwrap();
+    let arch = Architecture::Mlp(MlpConfig {
+        input_dim: 6,
+        hidden: vec![16, 8],
+        num_classes: 3,
+    });
+    let transport = MemoryTransport::new(StarTopology::new(1));
+    let config = SplitConfig {
+        split: SplitPoint::Default,
+        scheduling: Scheduling::Aggregate,
+        minibatch: MinibatchPolicy::Fixed(8),
+        lr: LrSchedule::Constant(0.1),
+        momentum: 0.9,
+        rounds: 3,
+        eval_every: 0,
+        seed: 21,
+        compute: ComputeModel::off(),
+        ..SplitConfig::default()
+    };
+    let mut trainer = SplitTrainer::new(&arch, config, vec![train], test, &transport).unwrap();
+    let history = trainer.run().unwrap();
+    history.records.iter().map(|r| r.mean_loss).collect()
+}
+
 /// One full split-training run at 4 threads reproduces the 1-thread loss
 /// trajectory. The backend's decomposition is shape-derived, so this
 /// holds exactly, not just within tolerance.
 #[test]
 fn split_training_round_deterministic_across_thread_counts() {
-    fn run_split() -> Vec<f32> {
-        let all = SyntheticTabular::new(3, 6, 5).generate(60).unwrap();
-        let train: InMemoryDataset = all.subset(&(0..48).collect::<Vec<_>>()).unwrap();
-        let test = all.subset(&(48..60).collect::<Vec<_>>()).unwrap();
-        let arch = Architecture::Mlp(MlpConfig {
-            input_dim: 6,
-            hidden: vec![16, 8],
-            num_classes: 3,
-        });
-        let transport = MemoryTransport::new(StarTopology::new(1));
-        let config = SplitConfig {
-            split: SplitPoint::Default,
-            scheduling: Scheduling::Aggregate,
-            minibatch: MinibatchPolicy::Fixed(8),
-            lr: LrSchedule::Constant(0.1),
-            momentum: 0.9,
-            rounds: 3,
-            eval_every: 0,
-            seed: 21,
-            compute: ComputeModel::off(),
-            ..SplitConfig::default()
-        };
-        let mut trainer = SplitTrainer::new(&arch, config, vec![train], test, &transport).unwrap();
-        let history = trainer.run().unwrap();
-        history.records.iter().map(|r| r.mean_loss).collect()
-    }
-
     let runs = with_thread_counts(&[1, 4], |_| run_split());
     assert_eq!(
         runs[0], runs[1],
         "split training diverged between 1 and 4 threads"
     );
+}
+
+/// `MEDSPLIT_ISA=scalar` and auto-dispatch produce bit-identical outputs
+/// for the whole kernel family: all three GEMM variants (with edge
+/// tiles), conv forward/backward, and the dispatched elementwise ops.
+#[test]
+fn kernels_bit_identical_across_isas() {
+    let mut rng = rng_from_seed(1234);
+    // Shapes straddle the MR=6 / NR=16 tile edges and a KC split.
+    let a = rand_mat(&mut rng, 67, 130);
+    let b = rand_mat(&mut rng, 130, 49);
+    let at = rand_mat(&mut rng, 130, 67);
+    let bt = rand_mat(&mut rng, 49, 130);
+    let input = Tensor::rand_uniform([2, 3, 9, 9], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([5, 3, 3, 3], -0.5, 0.5, &mut rng);
+    let spec = Conv2dSpec::square(3, 1, 1);
+    let x = Tensor::rand_uniform([777], -2.0, 2.0, &mut rng);
+    let g = Tensor::rand_uniform([777], -1.0, 1.0, &mut rng);
+
+    let (scalar, native) = with_isas(|| {
+        let conv = conv2d_forward(&input, &weight, None, spec).unwrap();
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &conv.scale(0.5), spec).unwrap();
+        let mut acc = x.clone();
+        acc.axpy(0.37, &g).unwrap();
+        acc.add_assign(&g).unwrap();
+        acc.scale_inplace(-1.25);
+        vec![
+            a.matmul(&b).unwrap(),
+            at.matmul_tn(&b).unwrap(),
+            a.matmul_nt(&bt).unwrap(),
+            conv,
+            gi,
+            gw,
+            gb,
+            x.relu(),
+            x.relu().relu_backward(&g).unwrap(),
+            x.leaky_relu(0.01),
+            x.leaky_relu_backward(0.01, &g).unwrap(),
+            acc,
+            (&x * &g),
+            (&x + &g),
+        ]
+    });
+    for (i, (s, v)) in scalar.iter().zip(&native).enumerate() {
+        let sb: Vec<u32> = s.as_slice().iter().map(|f| f.to_bits()).collect();
+        let vb: Vec<u32> = v.as_slice().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(sb, vb, "kernel #{i} diverged between scalar and native ISA");
+    }
+}
+
+/// A full training run is bit-identical between `MEDSPLIT_ISA=scalar`
+/// and auto-dispatch — the acceptance guarantee for the SIMD backend.
+#[test]
+fn split_training_bit_identical_across_isas() {
+    let (scalar, native) = with_isas(run_split);
+    assert_eq!(
+        scalar, native,
+        "split training diverged between scalar and native ISA"
+    );
+}
+
+/// The bench-harness failure mode behind the nonzero
+/// `scratch_allocs_per_step` rows: workers spawned by an earlier,
+/// larger pool persist, and jobs go to whichever workers win the queue
+/// race — so a plain warmup call misses some arenas. `pool::warmup`
+/// broadcasts to every spawned worker; after it, conv forward allocates
+/// nothing at *any* smaller thread count.
+#[test]
+fn conv_warmup_covers_every_pool_worker() {
+    let _guard = POOL_LOCK.lock().unwrap();
+
+    let mut rng = rng_from_seed(4242);
+    let input = Tensor::rand_uniform([4, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let weight = Tensor::rand_uniform([8, 3, 3, 3], -0.5, 0.5, &mut rng);
+    let bias = Tensor::rand_uniform([8], -0.1, 0.1, &mut rng);
+    let spec = Conv2dSpec::square(3, 1, 1);
+    let body = || {
+        conv2d_forward(&input, &weight, Some(&bias), spec).unwrap();
+    };
+
+    // Leave four workers alive, then shrink the pool: the 2-thread rounds
+    // below can land on any of them.
+    pool::set_num_threads(4);
+    pool::warmup(body);
+    pool::set_num_threads(2);
+    pool::warmup(body);
+
+    let before = scratch::stats();
+    for _ in 0..20 {
+        body();
+    }
+    let after = scratch::stats();
+    pool::set_num_threads(1);
+    assert_eq!(
+        after.allocations, before.allocations,
+        "a cold pool worker grew its scratch arena after a broadcast warmup"
+    );
+    assert!(after.acquisitions > before.acquisitions);
 }
