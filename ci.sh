@@ -60,4 +60,17 @@ echo "==> resilience_bench --smoke (chaos gate)"
 MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
     cargo run -q --release --offline -p medsplit-bench --bin resilience_bench -- --smoke
 
+echo "==> fleet_bench --smoke (sharded serving gate)"
+# Replica-count sweep over the fleet: the binary itself asserts the
+# completed-logits digest is bit-identical across 1/2/4 replicas, so a
+# green run pins the "sharding never changes results" guarantee.
+MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
+    cargo run -q --release --offline -p medsplit-bench --bin fleet_bench -- --smoke
+
+echo "==> fleet drain/rejoin acceptance (chaos gate)"
+# The 4-replica crash + rejoin scenario: one replica dies mid-load,
+# in-flight work re-routes to ring successors, the replica rejoins and
+# takes its session shard back, and no admitted request is dropped.
+cargo test -q --release --offline --test fleet_chaos
+
 echo "ci.sh: all green"

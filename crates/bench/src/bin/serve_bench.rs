@@ -57,11 +57,15 @@ fn run_point(offered_rps: f64, codec: WireCodec, requests_per_platform: usize) -
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let requests_per_platform = if arg_present(&args, "--quick") { 50 } else { 300 };
+    // Record which kernel ISA actually served the sweep (honours
+    // MEDSPLIT_ISA), so A/B result files are self-describing.
+    let isa = medsplit_tensor::simd::active_isa().name();
     let loads: &[f64] = &[25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
 
     let mut table = TextTable::new(
         "Serving latency vs offered load (3 platforms, WAN links)",
         &[
+            "isa",
             "codec",
             "offered_rps",
             "completed",
@@ -83,6 +87,7 @@ fn main() {
             let lat = r.latency.as_ref();
             let ms = |s: Option<f64>| s.map_or_else(|| "-".into(), |v| format!("{:.2}", v * 1e3));
             table.row(vec![
+                isa.to_string(),
                 format!("{codec:?}"),
                 format!("{load:.0}"),
                 r.completed.to_string(),

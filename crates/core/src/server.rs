@@ -106,6 +106,14 @@ impl SplitServer {
         medsplit_nn::vectorize::snapshot_vector(&mut self.model).to_bytes()
     }
 
+    /// FNV-1a digest of the server model's full snapshot (parameters +
+    /// batch-norm state). Fleet replicas use it to verify that a restored
+    /// weight version is bit-identical to the bank's copy without moving
+    /// the snapshot again.
+    pub fn weights_digest(&mut self) -> u64 {
+        medsplit_nn::vectorize::parameter_digest(&mut self.model)
+    }
+
     /// Restores a checkpoint produced by [`checkpoint`](Self::checkpoint).
     ///
     /// Optimiser momentum is not part of the checkpoint: after a restore,
@@ -425,6 +433,16 @@ mod tests {
         assert_eq!(s.model_mut().mode(), Mode::Train, "mode must be restored");
         // The in-flight exchange still completes against the training cache.
         assert!(s.platform_backward(&grads_env(0, 2, 0)).is_ok());
+    }
+
+    #[test]
+    fn weights_digest_matches_checkpoint_identity() {
+        let mut a = server(6);
+        let mut b = server(7);
+        assert_ne!(a.weights_digest(), b.weights_digest());
+        let blob = a.checkpoint();
+        b.restore(&blob).unwrap();
+        assert_eq!(a.weights_digest(), b.weights_digest());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! The fleet's model bank: every weight version as a checkpoint blob.
+//!
+//! Replicas do not share live model objects — each replica lazily
+//! instantiates a [`SplitServer`] per weight version from the bank's
+//! blobs, exactly as a real fleet pulls checkpoints from a model store.
+//! The bank records an FNV digest per version so a replica can prove its
+//! restored copy is bit-identical to the bank's (and the bench can prove
+//! logits are bit-identical across replica counts).
+
+use bytes::Bytes;
+use medsplit_core::{Result, SplitError, SplitServer};
+use medsplit_nn::Sequential;
+use medsplit_tensor::Tensor;
+
+/// Builds fresh (identically-initialised) server models on demand;
+/// [`Sequential`] is not `Clone`, so the bank rebuilds from the factory
+/// and then loads the requested version's snapshot.
+pub type ModelFactory = Box<dyn Fn() -> Sequential + Send + Sync>;
+
+/// A versioned store of server-side (`L2..Lk`) weight snapshots.
+pub struct ModelBank {
+    factory: ModelFactory,
+    versions: Vec<Bytes>,
+    digests: Vec<u64>,
+}
+
+impl ModelBank {
+    /// Creates a bank with `versions` snapshots. Version 0 is the
+    /// factory's weights verbatim; each later version `v` deterministically
+    /// perturbs every parameter by the factor `1 + v/100`, standing in for
+    /// successive fine-tuning releases. The construction depends only on
+    /// the factory and `versions`, never on fleet size, so two fleets with
+    /// different replica counts hold bit-identical banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from snapshotting.
+    pub fn new(factory: ModelFactory, versions: usize) -> Result<Self> {
+        assert!(versions >= 1, "a bank needs at least one version");
+        let mut base = factory();
+        let snapshot = medsplit_nn::vectorize::snapshot_vector(&mut base);
+        let mut blobs = Vec::with_capacity(versions);
+        let mut digests = Vec::with_capacity(versions);
+        for v in 0..versions {
+            let scale = 1.0 + v as f32 / 100.0;
+            let data: Vec<f32> = snapshot.as_slice().iter().map(|&x| x * scale).collect();
+            let n = data.len();
+            let vec = Tensor::from_vec(data, [n])?;
+            let mut model = factory();
+            medsplit_nn::vectorize::load_snapshot_vector(&mut model, &vec)?;
+            digests.push(medsplit_nn::vectorize::parameter_digest(&mut model));
+            blobs.push(vec.to_bytes());
+        }
+        Ok(ModelBank {
+            factory,
+            versions: blobs,
+            digests,
+        })
+    }
+
+    /// Number of stored versions.
+    pub fn versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The snapshot digest of version `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn digest(&self, v: u32) -> u64 {
+        self.digests[v as usize]
+    }
+
+    /// Instantiates a [`SplitServer`] running version `v`, verifying the
+    /// restored weights against the bank's digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::Config`] for an unknown version and protocol
+    /// errors if the restored digest disagrees with the bank's.
+    pub fn instantiate(&self, v: u32) -> Result<SplitServer> {
+        let blob = self
+            .versions
+            .get(v as usize)
+            .ok_or_else(|| SplitError::Config(format!("unknown weight version {v}")))?;
+        let mut server = SplitServer::new((self.factory)(), 0.0);
+        server.restore(blob)?;
+        let digest = server.weights_digest();
+        if digest != self.digests[v as usize] {
+            return Err(SplitError::Protocol(format!(
+                "restored version {v} digest {digest:#x} != bank digest {:#x}",
+                self.digests[v as usize]
+            )));
+        }
+        Ok(server)
+    }
+}
+
+impl std::fmt::Debug for ModelBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelBank")
+            .field("versions", &self.versions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medsplit_nn::Dense;
+    use medsplit_tensor::init::rng_from_seed;
+
+    fn factory() -> ModelFactory {
+        Box::new(|| {
+            let mut rng = rng_from_seed(17);
+            let mut s = Sequential::new("server");
+            s.push(Dense::new(4, 3, &mut rng));
+            s
+        })
+    }
+
+    #[test]
+    fn versions_are_distinct_and_verified() {
+        let bank = ModelBank::new(factory(), 3).unwrap();
+        assert_eq!(bank.versions(), 3);
+        assert_ne!(bank.digest(0), bank.digest(1));
+        assert_ne!(bank.digest(1), bank.digest(2));
+        for v in 0..3 {
+            let mut server = bank.instantiate(v).unwrap();
+            assert_eq!(server.weights_digest(), bank.digest(v));
+        }
+        assert!(bank.instantiate(3).is_err());
+    }
+
+    #[test]
+    fn banks_are_reproducible() {
+        let a = ModelBank::new(factory(), 2).unwrap();
+        let b = ModelBank::new(factory(), 2).unwrap();
+        assert_eq!(a.digest(0), b.digest(0));
+        assert_eq!(a.digest(1), b.digest(1));
+    }
+
+    #[test]
+    fn different_versions_change_logits() {
+        let bank = ModelBank::new(factory(), 2).unwrap();
+        let x = Tensor::full([1, 4], 0.5);
+        let y0 = bank.instantiate(0).unwrap().infer(&x).unwrap();
+        let y1 = bank.instantiate(1).unwrap().infer(&x).unwrap();
+        assert_ne!(y0.as_slice(), y1.as_slice());
+    }
+}

@@ -1,0 +1,381 @@
+//! One server replica: a shard of sessions, a dynamic batcher, and lazily
+//! instantiated per-version models.
+
+use std::collections::HashMap;
+
+use medsplit_core::{Result, SplitServer};
+use medsplit_serve::{Admission, BatchEntry, DynamicBatcher, RoutedRequest, ServeConfig};
+use medsplit_tensor::Tensor;
+
+use crate::bank::ModelBank;
+use crate::ring::HashRing;
+use crate::session::{SessionKey, SessionState};
+
+/// Replica lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPhase {
+    /// Accepting and serving traffic.
+    Active,
+    /// Graceful drain: no new admissions; in-flight work flushed and
+    /// sessions handed to ring successors.
+    Draining,
+    /// Crashed: queued work and local session state are lost.
+    Down,
+}
+
+/// A request queued at a replica: the routed frame plus the platform it
+/// answers to.
+#[derive(Debug, Clone)]
+pub struct FleetPending {
+    /// Platform (tenant) that submitted the request.
+    pub platform: usize,
+    /// The routed request (id, timing, routing key, activations).
+    pub req: RoutedRequest,
+}
+
+/// The outcome of one served entry, with everything the driver needs to
+/// answer the client and settle the router's books.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// Request id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Platform to answer.
+    pub platform: usize,
+    /// Echoed submission time.
+    pub submit_s: f64,
+    /// Whether the entry produced logits (false = deadline timeout).
+    pub ok: bool,
+    /// Logits, present iff `ok`.
+    pub logits: Option<Tensor>,
+}
+
+/// One server replica of the fleet.
+pub struct Replica {
+    id: usize,
+    phase: ReplicaPhase,
+    batcher: DynamicBatcher<FleetPending>,
+    /// Per-version model instances, pulled from the bank on first use.
+    servers: HashMap<u32, SplitServer>,
+    /// Session state for the shard this replica currently owns.
+    sessions: HashMap<SessionKey, SessionState>,
+    /// Simulated busy clock: when the replica is free to start a batch.
+    pub clock: f64,
+    /// Total requests served with logits.
+    pub served: u64,
+}
+
+impl Replica {
+    /// A fresh, active replica with the given batching parameters.
+    pub fn new(id: usize, serve: &ServeConfig) -> Self {
+        Replica {
+            id,
+            phase: ReplicaPhase::Active,
+            batcher: DynamicBatcher::new(serve.max_batch, serve.max_wait_s, serve.queue_capacity),
+            servers: HashMap::new(),
+            sessions: HashMap::new(),
+            clock: 0.0,
+            served: 0,
+        }
+    }
+
+    /// Replica index (its [`NodeId::Replica`](medsplit_simnet::NodeId)
+    /// slot).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> ReplicaPhase {
+        self.phase
+    }
+
+    /// Sets the lifecycle phase.
+    pub fn set_phase(&mut self, phase: ReplicaPhase) {
+        self.phase = phase;
+    }
+
+    /// Number of requests pending in the batcher.
+    pub fn queued(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Offers a request to the batcher (the caller has already checked
+    /// the phase).
+    pub fn offer(&mut self, pending: FleetPending, now_s: f64, deadline_s: f64) -> Admission {
+        self.batcher.offer(pending, now_s, deadline_s)
+    }
+
+    /// Earliest age-rule flush time, `None` when the queue is empty.
+    pub fn ready_at(&self) -> Option<f64> {
+        self.batcher.ready_at()
+    }
+
+    /// Whether the size rule would flush right now.
+    pub fn size_due(&self) -> bool {
+        self.batcher.len() >= self.batcher.max_batch()
+    }
+
+    /// Takes up to `max_batch` oldest entries.
+    pub fn take_batch(&mut self) -> Vec<BatchEntry<FleetPending>> {
+        self.batcher.take_batch()
+    }
+
+    /// Takes everything pending, ignoring `max_batch` (drain/crash).
+    pub fn drain_pending(&mut self) -> Vec<BatchEntry<FleetPending>> {
+        self.batcher.drain_all()
+    }
+
+    /// Drops all local session state (crash semantics).
+    pub fn forget_sessions(&mut self) {
+        self.sessions.clear();
+    }
+
+    /// Runs the batch's entries through their pinned weight versions and
+    /// returns `(serve_done, outcomes)`. Entries are grouped by version —
+    /// continuous batching across tenants within a version — and each
+    /// group takes one forward pass. Expired entries (deadline before
+    /// `serve_done`) are reported with `ok = false` and never inferred.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/bank errors.
+    pub fn serve(
+        &mut self,
+        bank: &ModelBank,
+        entries: Vec<BatchEntry<FleetPending>>,
+        flush_t: f64,
+        serve: &ServeConfig,
+    ) -> Result<(f64, Vec<Served>)> {
+        if entries.is_empty() {
+            return Ok((flush_t, Vec::new()));
+        }
+        let serve_done = flush_t + serve.batch_setup_s + serve.per_item_s * entries.len() as f64;
+        medsplit_telemetry::histogram_observe(
+            "fleet.batch_size",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            entries.len() as f64,
+        );
+        let (live, expired): (Vec<_>, Vec<_>) = entries.into_iter().partition(|e| e.deadline_s >= serve_done);
+        let mut outcomes: Vec<Served> = expired
+            .into_iter()
+            .map(|e| Served {
+                id: e.item.req.id,
+                tenant: e.item.req.tenant,
+                platform: e.item.platform,
+                submit_s: e.item.req.submit_s,
+                ok: false,
+                logits: None,
+            })
+            .collect();
+
+        // Group by pinned version, ascending, stable within a group.
+        let mut versions: Vec<u32> = live.iter().map(|e| e.item.req.version).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        for version in versions {
+            let group: Vec<&BatchEntry<FleetPending>> =
+                live.iter().filter(|e| e.item.req.version == version).collect();
+            let tensors: Vec<Tensor> = group.iter().map(|e| e.item.req.activations.clone()).collect();
+            let rows: Vec<usize> = tensors.iter().map(|t| t.dims()[0]).collect();
+            let batch = Tensor::concat0(&tensors)?;
+            let server = self.server_for(bank, version)?;
+            let logits = server.infer(&batch)?;
+            let mut offset = 0;
+            for (entry, n) in group.into_iter().zip(rows) {
+                let slice = logits.slice0(offset, n)?;
+                offset += n;
+                let key = SessionKey {
+                    tenant: entry.item.req.tenant,
+                    session: entry.item.req.session,
+                };
+                let state = self
+                    .sessions
+                    .entry(key)
+                    .or_insert_with(|| SessionState::new(key, version));
+                state.served += 1;
+                state.last_served_s = serve_done;
+                self.served += 1;
+                outcomes.push(Served {
+                    id: entry.item.req.id,
+                    tenant: entry.item.req.tenant,
+                    platform: entry.item.platform,
+                    submit_s: entry.item.req.submit_s,
+                    ok: true,
+                    logits: Some(slice),
+                });
+            }
+        }
+        medsplit_telemetry::counter_add_labeled(
+            "fleet.served",
+            &format!("replica-{}", self.id),
+            outcomes.iter().filter(|o| o.ok).count() as u64,
+        );
+        Ok((serve_done, outcomes))
+    }
+
+    fn server_for(&mut self, bank: &ModelBank, version: u32) -> Result<&mut SplitServer> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.servers.entry(version) {
+            slot.insert(bank.instantiate(version)?);
+        }
+        Ok(self.servers.get_mut(&version).expect("just inserted"))
+    }
+
+    /// Exports and removes every session, for a full drain handoff.
+    pub fn export_all_sessions(&mut self) -> Vec<SessionState> {
+        let mut out: Vec<SessionState> = self.sessions.drain().map(|(_, s)| s).collect();
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Exports and removes the sessions whose ring *home* is `home` — the
+    /// set a successor hands back when that replica rejoins.
+    pub fn export_sessions_homed_to(&mut self, ring: &HashRing, home: usize) -> Vec<SessionState> {
+        let keys: Vec<SessionKey> = self
+            .sessions
+            .keys()
+            .filter(|k| ring.home(k.tenant, k.session) == Some(home))
+            .copied()
+            .collect();
+        let mut out: Vec<SessionState> = keys
+            .into_iter()
+            .filter_map(|k| self.sessions.remove(&k))
+            .collect();
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Imports handed-off sessions. An existing entry for the same key is
+    /// merged by summing served counts (the successor may have served the
+    /// session while its home was away).
+    pub fn import_sessions(&mut self, incoming: Vec<SessionState>) {
+        for s in incoming {
+            self.sessions
+                .entry(s.key)
+                .and_modify(|cur| {
+                    cur.served += s.served;
+                    cur.last_served_s = cur.last_served_s.max(s.last_served_s);
+                })
+                .or_insert(s);
+        }
+    }
+
+    /// Read access to the session table (tests, invariant checks).
+    pub fn sessions(&self) -> &HashMap<SessionKey, SessionState> {
+        &self.sessions
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id)
+            .field("phase", &self.phase)
+            .field("queued", &self.batcher.len())
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::{ModelBank, ModelFactory};
+    use medsplit_nn::{Dense, Sequential};
+    use medsplit_tensor::init::rng_from_seed;
+
+    fn factory() -> ModelFactory {
+        Box::new(|| {
+            let mut rng = rng_from_seed(3);
+            let mut s = Sequential::new("server");
+            s.push(Dense::new(4, 2, &mut rng));
+            s
+        })
+    }
+
+    fn pending(id: u64, tenant: u64, session: u64, version: u32) -> FleetPending {
+        FleetPending {
+            platform: tenant as usize,
+            req: RoutedRequest {
+                id,
+                submit_s: 0.0,
+                deadline_s: f64::INFINITY,
+                tenant,
+                session,
+                version,
+                activations: Tensor::full([1, 4], 0.25),
+            },
+        }
+    }
+
+    #[test]
+    fn serves_mixed_versions_in_one_batch() {
+        let bank = ModelBank::new(factory(), 2).unwrap();
+        let cfg = ServeConfig::default();
+        let mut r = Replica::new(0, &cfg);
+        r.offer(pending(0, 0, 0, 0), 0.0, f64::INFINITY);
+        r.offer(pending(1, 1, 0, 1), 0.0, f64::INFINITY);
+        r.offer(pending(2, 0, 1, 0), 0.0, f64::INFINITY);
+        let entries = r.drain_pending();
+        let (done, outcomes) = r.serve(&bank, entries, 1.0, &cfg).unwrap();
+        assert!(done > 1.0);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.ok));
+        // Same activations, different versions ⇒ different logits.
+        let by_id = |id: u64| {
+            outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .unwrap()
+                .logits
+                .clone()
+                .unwrap()
+        };
+        assert_eq!(by_id(0).as_slice(), by_id(2).as_slice());
+        assert_ne!(by_id(0).as_slice(), by_id(1).as_slice());
+        assert_eq!(r.served, 3);
+        assert_eq!(r.sessions().len(), 3);
+    }
+
+    #[test]
+    fn expired_entries_are_not_inferred() {
+        let bank = ModelBank::new(factory(), 1).unwrap();
+        let cfg = ServeConfig::default();
+        let mut r = Replica::new(1, &cfg);
+        r.offer(pending(5, 0, 0, 0), 0.0, 0.5); // deadline before serve_done
+        let entries = r.drain_pending();
+        let (_, outcomes) = r.serve(&bank, entries, 1.0, &cfg).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].ok);
+        assert_eq!(r.served, 0);
+        assert!(r.sessions().is_empty());
+    }
+
+    #[test]
+    fn handoff_merges_served_counts() {
+        let ring = HashRing::new(2, 8);
+        let cfg = ServeConfig::default();
+        let mut a = Replica::new(0, &cfg);
+        let key = SessionKey {
+            tenant: 1,
+            session: 1,
+        };
+        let mut s = SessionState::new(key, 0);
+        s.served = 4;
+        a.import_sessions(vec![s]);
+        let mut again = SessionState::new(key, 0);
+        again.served = 2;
+        again.last_served_s = 9.0;
+        a.import_sessions(vec![again]);
+        assert_eq!(a.sessions()[&key].served, 6);
+        assert_eq!(a.sessions()[&key].last_served_s, 9.0);
+        // Export-by-home moves only the keys homed to the target.
+        let home = ring.home(key.tenant, key.session).unwrap();
+        let other = 1 - home;
+        assert!(a.export_sessions_homed_to(&ring, other).is_empty());
+        let moved = a.export_sessions_homed_to(&ring, home);
+        assert_eq!(moved.len(), 1);
+        assert!(a.sessions().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the consistent-hash ring: routing must be a pure
+//! function of the key and the membership (never of process state or
+//! insertion history), and membership changes must move roughly `1/N` of
+//! the keyspace — the whole point of consistent hashing over modulo
+//! sharding.
+
+use medsplit_fleet::{key_hash, HashRing};
+use proptest::prelude::*;
+
+const VNODES: usize = 64;
+
+/// Routes a grid of `(tenant, session)` keys, returning the owner per key.
+fn route_all(ring: &HashRing, tenants: u64, sessions: u64) -> Vec<usize> {
+    let mut owners = Vec::with_capacity((tenants * sessions) as usize);
+    for t in 0..tenants {
+        for s in 0..sessions {
+            owners.push(ring.route(t, s).expect("active ring routes every key"));
+        }
+    }
+    owners
+}
+
+proptest! {
+    /// Two independently built rings with the same membership agree on
+    /// every key — routing is deterministic across processes because the
+    /// point hashes are FNV over fixed bytes, not `RandomState`.
+    #[test]
+    fn routing_is_process_independent(
+        replicas in 1usize..12,
+        tenants in 1u64..8,
+        sessions in 1u64..16,
+    ) {
+        let a = HashRing::new(replicas, VNODES);
+        let b = HashRing::new(replicas, VNODES);
+        prop_assert_eq!(
+            route_all(&a, tenants, sessions),
+            route_all(&b, tenants, sessions)
+        );
+    }
+
+    /// Adding one replica to an `n`-replica ring moves roughly `1/(n+1)`
+    /// of the keyspace: never more than twice the fair share (vnode
+    /// variance allows some slack), and every moved key lands on the new
+    /// replica — keys never shuffle between surviving replicas.
+    #[test]
+    fn add_moves_about_one_over_n(n in 2usize..10, salt in 0u64..32) {
+        let before = HashRing::new(n, VNODES);
+        let mut after = HashRing::new(n, VNODES);
+        after.add_replica(n);
+        let keys = 4096u64;
+        let mut moved = 0usize;
+        for k in 0..keys {
+            let t = salt.wrapping_mul(1000) + k / 64;
+            let s = k % 64;
+            let old = before.route(t, s).unwrap();
+            let new = after.route(t, s).unwrap();
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(new, n, "moved keys must land on the new replica");
+            }
+        }
+        let fair = keys as f64 / (n + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * fair,
+            "moved {} of {} keys; fair share is {:.0}",
+            moved, keys, fair
+        );
+        prop_assert!(moved > 0, "a new replica must take some keys");
+    }
+
+    /// Removing one replica only re-homes that replica's keys; everyone
+    /// else's assignment is untouched.
+    #[test]
+    fn remove_moves_only_the_victims_keys(n in 2usize..10, victim_seed in 0usize..100) {
+        let before = HashRing::new(n, VNODES);
+        let victim = victim_seed % n;
+        let mut after = HashRing::new(n, VNODES);
+        after.remove_replica(victim);
+        for t in 0..16u64 {
+            for s in 0..64u64 {
+                let old = before.route(t, s).unwrap();
+                let new = after.route(t, s).unwrap();
+                if old != victim {
+                    prop_assert_eq!(old, new, "survivors keep their keys");
+                } else {
+                    prop_assert_ne!(new, victim);
+                }
+            }
+        }
+    }
+
+    /// Deactivating a replica routes its keys to the same successor that
+    /// `successor()` reports, and reactivating restores the original map
+    /// exactly — drain + rejoin is a routing no-op.
+    #[test]
+    fn drain_rejoin_round_trips(n in 2usize..8, victim_seed in 0usize..100) {
+        let victim = victim_seed % n;
+        let mut ring = HashRing::new(n, VNODES);
+        let baseline = route_all(&ring, 8, 32);
+        ring.set_active(victim, false);
+        for t in 0..8u64 {
+            for s in 0..32u64 {
+                let owner = ring.route(t, s).unwrap();
+                prop_assert_ne!(owner, victim);
+                let home = ring.home(t, s).unwrap();
+                if home == victim {
+                    prop_assert_eq!(Some(owner), ring.successor(t, s, victim));
+                }
+            }
+        }
+        ring.set_active(victim, true);
+        prop_assert_eq!(route_all(&ring, 8, 32), baseline);
+    }
+
+    /// The key hash itself is stable: same inputs, same value, and it
+    /// feeds routing (documented so the wire pin `key_hash % versions`
+    /// stays honest).
+    #[test]
+    fn key_hash_is_pure(t in 0u64..u64::MAX, s in 0u64..u64::MAX) {
+        prop_assert_eq!(key_hash(t, s), key_hash(t, s));
+    }
+}

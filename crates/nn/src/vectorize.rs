@@ -131,6 +131,28 @@ pub fn set_state_vector(layer: &mut dyn Layer, vector: &Tensor) -> Result<()> {
     Ok(())
 }
 
+/// FNV-1a digest over the bit patterns of every parameter *and* state
+/// scalar, in visitation order. Two models agree on this digest iff their
+/// snapshots are bit-identical, so fleet replicas can verify a restored
+/// weight version (or a handed-off session's pinned model) without
+/// shipping the whole vector again.
+pub fn parameter_digest(layer: &mut dyn Layer) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut fold = |values: &[f32]| {
+        for v in values {
+            for byte in v.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+    };
+    layer.visit_params(&mut |p| fold(p.value.as_slice()));
+    layer.visit_state(&mut |t| fold(t.as_slice()));
+    hash
+}
+
 /// Applies a flat update `value -= lr * update` across all parameters, in
 /// visitation order — used by the synchronous-SGD server.
 ///
@@ -262,6 +284,19 @@ mod tests {
         let mut m = model(9);
         assert_eq!(state_count(&mut m), 0);
         assert_eq!(state_vector(&mut m).numel(), 0);
+    }
+
+    #[test]
+    fn parameter_digest_tracks_snapshot_identity() {
+        let mut a = model(7);
+        let mut b = model(7);
+        assert_eq!(parameter_digest(&mut a), parameter_digest(&mut b));
+        let mut c = model(8);
+        assert_ne!(parameter_digest(&mut a), parameter_digest(&mut c));
+        // Loading a's snapshot into c makes the digests agree again.
+        let snap = snapshot_vector(&mut a);
+        load_snapshot_vector(&mut c, &snap).unwrap();
+        assert_eq!(parameter_digest(&mut a), parameter_digest(&mut c));
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl<T> DynamicBatcher<T> {
         let n = self.pending.len().min(self.max_batch);
         self.pending.drain(..n).collect()
     }
+
+    /// Unconditionally takes *every* pending entry, ignoring `max_batch`.
+    /// Used when a fleet replica drains: whatever is queued must leave
+    /// with the replica in one sweep, not in flush-sized slices.
+    pub fn drain_all(&mut self) -> Vec<BatchEntry<T>> {
+        self.pending.drain(..).collect()
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +223,21 @@ mod tests {
         let batch = b.take_due(2.5).unwrap();
         assert_eq!(batch[0].enqueued_s, 2.5);
         assert_eq!(batch[0].deadline_s, 3.25);
+    }
+
+    #[test]
+    fn drain_all_ignores_max_batch() {
+        let mut b = batcher(2, f64::INFINITY, 8);
+        for i in 0..5 {
+            b.offer(i, 0.0, f64::INFINITY);
+        }
+        let drained = b.drain_all();
+        assert_eq!(
+            drained.iter().map(|e| e.item).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+        assert!(b.is_empty());
+        assert!(b.drain_all().is_empty());
     }
 
     #[test]

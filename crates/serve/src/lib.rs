@@ -34,6 +34,6 @@ pub use batcher::{Admission, BatchEntry, DynamicBatcher};
 pub use metrics::{LatencySummary, ServeReport};
 pub use runtime::{serve_threaded, ClientRecord, ServeConfig, ServeOutcome};
 pub use wire::{
-    decode_request, decode_response, encode_request, encode_response, InferRequest, InferResponse,
-    InferStatus,
+    decode_request, decode_response, decode_routed_request, encode_request, encode_response,
+    encode_response_from, encode_routed_request, InferRequest, InferResponse, InferStatus, RoutedRequest,
 };

@@ -51,6 +51,9 @@ pub struct ServeReport {
     pub rejected: usize,
     /// Requests admitted but past their deadline when served.
     pub timed_out: usize,
+    /// Requests refused by the fleet router (tenant quota exhausted or no
+    /// active replica). Always zero for single-server runs.
+    pub throttled: usize,
     /// End-to-end latency of *completed* requests (submit → logits
     /// received, simulated seconds).
     pub latency: Option<LatencySummary>,
@@ -91,11 +94,12 @@ impl ServeReport {
     }
 
     /// Counts one terminal status (used while folding client records).
-    pub(crate) fn tally(&mut self, status: InferStatus) {
+    pub fn tally(&mut self, status: InferStatus) {
         match status {
             InferStatus::Ok => self.completed += 1,
             InferStatus::Rejected => self.rejected += 1,
             InferStatus::TimedOut => self.timed_out += 1,
+            InferStatus::Throttled => self.throttled += 1,
         }
     }
 }
@@ -143,6 +147,7 @@ mod tests {
             completed: 0,
             rejected: 0,
             timed_out: 0,
+            throttled: 0,
             latency: None,
             request_bytes: 1000,
             response_bytes: 500,
@@ -153,7 +158,8 @@ mod tests {
         }
         r.tally(InferStatus::Rejected);
         r.tally(InferStatus::TimedOut);
-        assert_eq!((r.completed, r.rejected, r.timed_out), (8, 1, 1));
+        r.tally(InferStatus::Throttled);
+        assert_eq!((r.completed, r.rejected, r.timed_out, r.throttled), (8, 1, 1, 1));
         assert_eq!(r.request_bytes_per_offered(), 100.0);
         assert_eq!(r.response_bytes_per_offered(), 50.0);
         assert_eq!(r.goodput_rps(), 4.0);

@@ -210,6 +210,7 @@ pub fn serve_threaded<T: Transport>(
         completed: 0,
         rejected: 0,
         timed_out: 0,
+        throttled: 0,
         latency: None,
         request_bytes: stats.bytes_of(MessageKind::InferRequest),
         response_bytes: stats.bytes_of(MessageKind::InferResponse),

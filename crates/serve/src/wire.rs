@@ -16,6 +16,9 @@ use medsplit_tensor::Tensor;
 const REQUEST_PREFIX: usize = 8 + 8 + 8;
 /// Fixed response prefix: id, submit time, served time, status byte.
 const RESPONSE_PREFIX: usize = 8 + 8 + 8 + 1;
+/// Fixed routed-request prefix: the plain request prefix plus tenant,
+/// session, and pinned weight version.
+const ROUTED_PREFIX: usize = REQUEST_PREFIX + 8 + 8 + 4;
 
 /// Terminal status of one inference request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +29,12 @@ pub enum InferStatus {
     Rejected,
     /// Admitted but its deadline expired before the batch was served.
     TimedOut,
+    /// Refused by the fleet router before dispatch: the tenant's
+    /// admission quota was exhausted, or no active replica could take the
+    /// session. Distinct from [`InferStatus::Rejected`] so router-level
+    /// backpressure and replica-level queue overflow stay separable in
+    /// reports.
+    Throttled,
 }
 
 impl InferStatus {
@@ -34,6 +43,7 @@ impl InferStatus {
             InferStatus::Ok => 0,
             InferStatus::Rejected => 1,
             InferStatus::TimedOut => 2,
+            InferStatus::Throttled => 3,
         }
     }
 
@@ -42,6 +52,7 @@ impl InferStatus {
             0 => Some(InferStatus::Ok),
             1 => Some(InferStatus::Rejected),
             2 => Some(InferStatus::TimedOut),
+            3 => Some(InferStatus::Throttled),
             _ => None,
         }
     }
@@ -53,6 +64,7 @@ impl std::fmt::Display for InferStatus {
             InferStatus::Ok => "ok",
             InferStatus::Rejected => "rejected",
             InferStatus::TimedOut => "timed_out",
+            InferStatus::Throttled => "throttled",
         })
     }
 }
@@ -141,9 +153,109 @@ pub fn decode_request(env: &Envelope) -> Result<InferRequest> {
     })
 }
 
+/// A decoded fleet-routed inference request: the plain request plus the
+/// routing coordinates the fleet router stamps on admission — owning
+/// tenant, session within the tenant, and the weight version the session
+/// is pinned to.
+#[derive(Debug, Clone)]
+pub struct RoutedRequest {
+    /// Client-assigned request id (unique per platform).
+    pub id: u64,
+    /// Simulated time the client submitted the request.
+    pub submit_s: f64,
+    /// Absolute deadline in simulated seconds (`INFINITY` = none).
+    pub deadline_s: f64,
+    /// Owning tenant id.
+    pub tenant: u64,
+    /// Session id, unique within the tenant.
+    pub session: u64,
+    /// Weight version the session is pinned to.
+    pub version: u32,
+    /// The client's `L1` activations (possibly noised).
+    pub activations: Tensor,
+}
+
+/// Encodes a fleet-routed inference request envelope. `src`/`dst` are
+/// explicit because the same frame travels two hops: platform → router,
+/// then router → replica after admission.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_routed_request(src: NodeId, dst: NodeId, req: &RoutedRequest, codec: WireCodec) -> Envelope {
+    let tensor_bytes = match codec {
+        WireCodec::F32 => req.activations.to_bytes(),
+        WireCodec::F16 => req.activations.to_bytes_f16(),
+    };
+    let mut payload = Vec::with_capacity(ROUTED_PREFIX + tensor_bytes.len());
+    payload.put_u64_le(req.id);
+    payload.put_u64_le(req.submit_s.to_bits());
+    payload.put_u64_le(req.deadline_s.to_bits());
+    payload.put_u64_le(req.tenant);
+    payload.put_u64_le(req.session);
+    payload.put_u32_le(req.version);
+    payload.put_slice(&tensor_bytes);
+    Envelope::new(src, dst, req.id, MessageKind::InferRequest, Bytes::from(payload))
+}
+
+/// Decodes a fleet-routed inference request payload.
+///
+/// # Errors
+///
+/// Returns [`SplitError::Protocol`] for a wrong message kind or truncated
+/// prefix, and [`SplitError::Tensor`] for a corrupt tensor body.
+pub fn decode_routed_request(env: &Envelope) -> Result<RoutedRequest> {
+    if env.kind != MessageKind::InferRequest {
+        return Err(SplitError::Protocol(format!(
+            "expected infer_request from {}, got {}",
+            env.src, env.kind
+        )));
+    }
+    let p = &env.payload;
+    if p.len() < ROUTED_PREFIX {
+        return Err(SplitError::Protocol(format!(
+            "truncated routed infer_request payload ({} bytes)",
+            p.len()
+        )));
+    }
+    let read_u64 = |at: usize| u64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"));
+    Ok(RoutedRequest {
+        id: read_u64(0),
+        submit_s: f64::from_bits(read_u64(8)),
+        deadline_s: f64::from_bits(read_u64(16)),
+        tenant: read_u64(24),
+        session: read_u64(32),
+        version: u32::from_le_bytes(p[40..44].try_into().expect("4 bytes")),
+        activations: Tensor::from_bytes(env.payload.slice(ROUTED_PREFIX..))?,
+    })
+}
+
 /// Encodes an inference response envelope (server → platform). `logits`
 /// must be `Some` iff `status` is [`InferStatus::Ok`].
 pub fn encode_response(
+    platform: NodeId,
+    id: u64,
+    submit_s: f64,
+    served_s: f64,
+    status: InferStatus,
+    logits: Option<&Tensor>,
+    codec: WireCodec,
+) -> Envelope {
+    encode_response_from(
+        NodeId::Server,
+        platform,
+        id,
+        submit_s,
+        served_s,
+        status,
+        logits,
+        codec,
+    )
+}
+
+/// Encodes an inference response envelope with an explicit source node.
+/// Fleet replicas answer platforms directly, so the response's `src` is a
+/// [`NodeId::Replica`] rather than the central server.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_response_from(
+    src: NodeId,
     platform: NodeId,
     id: u64,
     submit_s: f64,
@@ -167,7 +279,7 @@ pub fn encode_response(
         payload.put_slice(bytes);
     }
     Envelope::new(
-        NodeId::Server,
+        src,
         platform,
         id,
         MessageKind::InferResponse,
@@ -292,6 +404,75 @@ mod tests {
             WireCodec::F16,
         );
         assert_eq!(decode_response(&timed).unwrap().status, InferStatus::TimedOut);
+    }
+
+    #[test]
+    fn routed_request_round_trips() {
+        let acts = Tensor::from_vec(vec![0.5, 1.5, -3.0], [1, 3]).unwrap();
+        let req = RoutedRequest {
+            id: 42,
+            submit_s: 2.0,
+            deadline_s: 5.0,
+            tenant: 9,
+            session: 0xdead_beef,
+            version: 3,
+            activations: acts.clone(),
+        };
+        // First hop: platform → router.
+        let env = encode_routed_request(NodeId::Platform(1), NodeId::Server, &req, WireCodec::F32);
+        assert_eq!(env.kind, MessageKind::InferRequest);
+        let back = decode_routed_request(&env).unwrap();
+        assert_eq!(back.id, 42);
+        assert_eq!(back.tenant, 9);
+        assert_eq!(back.session, 0xdead_beef);
+        assert_eq!(back.version, 3);
+        assert_eq!(back.activations, acts);
+        // Second hop reuses the same frame with new endpoints.
+        let fwd = encode_routed_request(NodeId::Server, NodeId::Replica(2), &back, WireCodec::F32);
+        assert_eq!(fwd.payload, env.payload);
+        assert_eq!(fwd.dst, NodeId::Replica(2));
+    }
+
+    #[test]
+    fn routed_request_truncation_rejected() {
+        let acts = Tensor::ones([1, 2]);
+        let req = RoutedRequest {
+            id: 1,
+            submit_s: 0.0,
+            deadline_s: f64::INFINITY,
+            tenant: 0,
+            session: 0,
+            version: 0,
+            activations: acts,
+        };
+        let env = encode_routed_request(NodeId::Platform(0), NodeId::Server, &req, WireCodec::F32);
+        let short = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            1,
+            MessageKind::InferRequest,
+            env.payload.slice(..40),
+        );
+        assert!(decode_routed_request(&short).is_err());
+    }
+
+    #[test]
+    fn throttled_status_round_trips_from_replica() {
+        let env = encode_response_from(
+            NodeId::Replica(1),
+            NodeId::Platform(0),
+            5,
+            1.0,
+            1.0,
+            InferStatus::Throttled,
+            None,
+            WireCodec::F32,
+        );
+        assert_eq!(env.src, NodeId::Replica(1));
+        let resp = decode_response(&env).unwrap();
+        assert_eq!(resp.status, InferStatus::Throttled);
+        assert!(resp.logits.is_none());
+        assert_eq!(InferStatus::Throttled.to_string(), "throttled");
     }
 
     #[test]

@@ -199,6 +199,33 @@ impl FaultPlan {
         self
     }
 
+    // ----- replica-level fault plans (serving fleets) -----------------------
+    //
+    // Fleet drivers are time-based rather than round-based: they map the
+    // simulated clock onto fixed-width chaos ticks and call
+    // [`ChaosTransport::begin_round`] once per tick, so the same
+    // round-granular event machinery doubles as a replica-crash schedule.
+
+    /// Schedules a crash of server replica `replica` at the start of
+    /// fleet chaos tick `tick`.
+    pub fn crash_replica(self, replica: usize, tick: u64) -> Self {
+        self.crash(NodeId::Replica(replica), tick)
+    }
+
+    /// Schedules a recovery of server replica `replica` at the start of
+    /// fleet chaos tick `tick`.
+    pub fn recover_replica(self, replica: usize, tick: u64) -> Self {
+        self.recover(NodeId::Replica(replica), tick)
+    }
+
+    /// Schedules a dispatch-link flap for one replica: the router →
+    /// replica link is down from the start of `down_tick` until the start
+    /// of `up_tick` (the replica itself stays up and can still answer
+    /// in-flight work).
+    pub fn flap_replica_link(self, replica: usize, down_tick: u64, up_tick: u64) -> Self {
+        self.flap(NodeId::Server, NodeId::Replica(replica), down_tick, up_tick)
+    }
+
     /// Schedules a link flap: `src → dst` down from the start of
     /// `down_round` until the start of `up_round`.
     pub fn flap(mut self, src: NodeId, dst: NodeId, down_round: u64, up_round: u64) -> Self {
@@ -639,6 +666,43 @@ mod tests {
         t.begin_round(4);
         assert!(!t.is_down(NodeId::Platform(1)));
         t.send(env(NodeId::Platform(1), 4)).unwrap();
+    }
+
+    #[test]
+    fn replica_fault_plan_crashes_and_recovers_replicas() {
+        let plan = FaultPlan::new(11)
+            .crash_replica(1, 3)
+            .recover_replica(1, 5)
+            .flap_replica_link(0, 2, 4);
+        let t = ChaosTransport::new(
+            MemoryTransport::new(crate::topology::FleetTopology::new(1, 2)),
+            plan,
+        );
+        t.begin_round(2);
+        assert!(t.link_down(NodeId::Server, NodeId::Replica(0)));
+        assert!(!t.is_down(NodeId::Replica(1)));
+        t.begin_round(3);
+        assert!(t.is_down(NodeId::Replica(1)));
+        // Sends from a crashed replica fail fast.
+        assert!(matches!(
+            t.send(Envelope::control(NodeId::Replica(1), NodeId::Platform(0), 3)),
+            Err(NetError::PeerDown(_))
+        ));
+        t.begin_round(4);
+        assert!(!t.link_down(NodeId::Server, NodeId::Replica(0)));
+        t.begin_round(5);
+        assert!(!t.is_down(NodeId::Replica(1)));
+        // A recovered replica's handoff traffic flows over the LAN edge.
+        t.send(Envelope::new(
+            NodeId::Replica(0),
+            NodeId::Replica(1),
+            5,
+            MessageKind::SessionHandoff,
+            Bytes::from(vec![1u8; 8]),
+        ))
+        .unwrap();
+        let got = t.try_recv(NodeId::Replica(1)).unwrap();
+        assert_eq!(got.kind, MessageKind::SessionHandoff);
     }
 
     #[test]

@@ -9,6 +9,12 @@ use crate::node::NodeId;
 /// TCP/IP framing).
 pub const HEADER_BYTES: usize = 64;
 
+/// Frame code base for [`NodeId::Replica`] in [`Envelope::encode`]:
+/// replica `i` is encoded as `REPLICA_CODE_BASE + i`, keeping the whole
+/// lower half of the code space for platforms and `u64::MAX` for the
+/// server.
+const REPLICA_CODE_BASE: u64 = 1 << 62;
+
 /// The semantic type of a message, used for per-kind byte accounting so
 /// the evaluation can report *where* each protocol's bandwidth goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,6 +58,10 @@ pub enum MessageKind {
     InferResponse,
     /// Control traffic (round begin/end, shutdown).
     Control,
+    /// Fleet rebalancing: exported per-session serving state handed from
+    /// a draining (or rejoined-towards) replica to its ring successor,
+    /// replica → replica.
+    SessionHandoff,
 }
 
 impl MessageKind {
@@ -72,6 +82,7 @@ impl MessageKind {
             MessageKind::InferRequest => "infer_request",
             MessageKind::InferResponse => "infer_response",
             MessageKind::Control => "control",
+            MessageKind::SessionHandoff => "session_handoff",
         }
     }
 
@@ -94,6 +105,7 @@ impl MessageKind {
             MessageKind::Control => 11,
             MessageKind::InferRequest => 12,
             MessageKind::InferResponse => 13,
+            MessageKind::SessionHandoff => 14,
         }
     }
 
@@ -119,6 +131,7 @@ impl MessageKind {
             MessageKind::InferRequest,
             MessageKind::InferResponse,
             MessageKind::Control,
+            MessageKind::SessionHandoff,
         ]
     }
 }
@@ -213,6 +226,7 @@ impl Envelope {
             match n {
                 NodeId::Server => u64::MAX,
                 NodeId::Platform(i) => i as u64,
+                NodeId::Replica(i) => REPLICA_CODE_BASE + i as u64,
             }
         }
         let mut out = Vec::with_capacity(45 + self.payload.len());
@@ -242,6 +256,8 @@ impl Envelope {
         fn node_from(code: u64) -> NodeId {
             if code == u64::MAX {
                 NodeId::Server
+            } else if code >= REPLICA_CODE_BASE {
+                NodeId::Replica((code - REPLICA_CODE_BASE) as usize)
             } else {
                 NodeId::Platform(code as usize)
             }
@@ -370,6 +386,11 @@ mod tests {
         let decoded = Envelope::decode(&env.encode()).unwrap();
         assert_eq!(decoded.src, NodeId::Server);
         assert_eq!(decoded.dst, NodeId::Platform(3));
+        // Replicas survive the offset encoding in either role.
+        let env = Envelope::control(NodeId::Replica(5), NodeId::Replica(0), 1);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded.src, NodeId::Replica(5));
+        assert_eq!(decoded.dst, NodeId::Replica(0));
     }
 
     #[test]

@@ -3,13 +3,18 @@
 use std::fmt;
 
 /// A participant in the geo-distributed system: the single central server
-/// or one of the medical platforms (hospitals).
+/// (or fleet router), one of the medical platforms (hospitals), or one of
+/// the server replicas of a sharded serving fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeId {
-    /// The central server holding layers `L2..Lk`.
+    /// The central server holding layers `L2..Lk` (in fleet topologies:
+    /// the router fronting the replicas).
     Server,
     /// Platform `k` (0-based) holding its local data and layer `L1`.
     Platform(usize),
+    /// Server replica `k` (0-based) owning a shard of `L2..Lk` sessions
+    /// in a serving fleet.
+    Replica(usize),
 }
 
 impl NodeId {
@@ -18,11 +23,24 @@ impl NodeId {
         matches!(self, NodeId::Platform(_))
     }
 
+    /// Whether this node is a fleet replica.
+    pub fn is_replica(&self) -> bool {
+        matches!(self, NodeId::Replica(_))
+    }
+
     /// The platform index, if any.
     pub fn platform_index(&self) -> Option<usize> {
         match self {
             NodeId::Platform(i) => Some(*i),
-            NodeId::Server => None,
+            _ => None,
+        }
+    }
+
+    /// The replica index, if any.
+    pub fn replica_index(&self) -> Option<usize> {
+        match self {
+            NodeId::Replica(i) => Some(*i),
+            _ => None,
         }
     }
 }
@@ -32,6 +50,7 @@ impl fmt::Display for NodeId {
         match self {
             NodeId::Server => write!(f, "server"),
             NodeId::Platform(i) => write!(f, "platform-{i}"),
+            NodeId::Replica(i) => write!(f, "replica-{i}"),
         }
     }
 }
@@ -44,10 +63,16 @@ mod tests {
     fn display_and_helpers() {
         assert_eq!(NodeId::Server.to_string(), "server");
         assert_eq!(NodeId::Platform(3).to_string(), "platform-3");
+        assert_eq!(NodeId::Replica(2).to_string(), "replica-2");
         assert!(NodeId::Platform(0).is_platform());
         assert!(!NodeId::Server.is_platform());
+        assert!(NodeId::Replica(0).is_replica());
+        assert!(!NodeId::Platform(0).is_replica());
         assert_eq!(NodeId::Platform(2).platform_index(), Some(2));
         assert_eq!(NodeId::Server.platform_index(), None);
+        assert_eq!(NodeId::Replica(1).platform_index(), None);
+        assert_eq!(NodeId::Replica(4).replica_index(), Some(4));
+        assert_eq!(NodeId::Server.replica_index(), None);
     }
 
     #[test]

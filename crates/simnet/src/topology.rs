@@ -5,6 +5,19 @@ use std::collections::HashMap;
 use crate::link::LinkSpec;
 use crate::node::NodeId;
 
+/// A routable set of nodes and directed links.
+///
+/// [`MemoryTransport`](crate::MemoryTransport) is generic over this
+/// trait, so the same mailbox/accounting machinery serves both the
+/// paper's single-server star and the sharded serving fleet.
+pub trait Topology: Send + Sync {
+    /// All node ids, in a stable order.
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// The link used for a directed edge, if the edge exists.
+    fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec>;
+}
+
 /// A star topology: every platform connects to the central server, as in
 /// the paper's Fig. 1. Per-direction defaults can be overridden per
 /// platform (e.g. one rural hospital on a slow uplink).
@@ -73,6 +86,101 @@ impl StarTopology {
     }
 }
 
+impl Topology for StarTopology {
+    fn nodes(&self) -> Vec<NodeId> {
+        StarTopology::nodes(self)
+    }
+
+    fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec> {
+        StarTopology::link(self, src, dst)
+    }
+}
+
+/// The sharded serving fleet's topology: platforms reach a router (the
+/// [`NodeId::Server`] slot) over WAN links, the router fans out to `N`
+/// server replicas over a datacenter LAN, replicas answer platforms
+/// directly over the WAN downlink, and replicas exchange session-handoff
+/// traffic with each other over the LAN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTopology {
+    platforms: usize,
+    replicas: usize,
+    uplink: LinkSpec,
+    downlink: LinkSpec,
+    lan: LinkSpec,
+}
+
+impl FleetTopology {
+    /// A fleet with WAN platform links and LAN replica links.
+    pub fn new(platforms: usize, replicas: usize) -> Self {
+        FleetTopology {
+            platforms,
+            replicas,
+            uplink: LinkSpec::wan(),
+            downlink: LinkSpec::wan(),
+            lan: LinkSpec::lan(),
+        }
+    }
+
+    /// Overrides the platform → router link.
+    pub fn with_uplink(mut self, link: LinkSpec) -> Self {
+        self.uplink = link;
+        self
+    }
+
+    /// Overrides the replica → platform link.
+    pub fn with_downlink(mut self, link: LinkSpec) -> Self {
+        self.downlink = link;
+        self
+    }
+
+    /// Overrides the intra-datacenter link (router ↔ replica and
+    /// replica ↔ replica).
+    pub fn with_lan(mut self, link: LinkSpec) -> Self {
+        self.lan = link;
+        self
+    }
+
+    /// Number of platforms.
+    pub fn platforms(&self) -> usize {
+        self.platforms
+    }
+
+    /// Number of server replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+}
+
+impl Topology for FleetTopology {
+    fn nodes(&self) -> Vec<NodeId> {
+        let mut v = vec![NodeId::Server];
+        v.extend((0..self.replicas).map(NodeId::Replica));
+        v.extend((0..self.platforms).map(NodeId::Platform));
+        v
+    }
+
+    fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec> {
+        match (src, dst) {
+            // Request path: platform → router → replica.
+            (NodeId::Platform(i), NodeId::Server) if i < self.platforms => Some(self.uplink),
+            (NodeId::Server, NodeId::Replica(r)) if r < self.replicas => Some(self.lan),
+            // Response path: replica → platform, skipping the router.
+            (NodeId::Replica(r), NodeId::Platform(i)) if r < self.replicas && i < self.platforms => {
+                Some(self.downlink)
+            }
+            // Rebalancing paths: replica ↔ replica and replica → router.
+            (NodeId::Replica(a), NodeId::Replica(b)) if a < self.replicas && b < self.replicas && a != b => {
+                Some(self.lan)
+            }
+            (NodeId::Replica(r), NodeId::Server) if r < self.replicas => Some(self.lan),
+            // The router also answers platforms directly (rejections).
+            (NodeId::Server, NodeId::Platform(i)) if i < self.platforms => Some(self.downlink),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +210,54 @@ mod tests {
         assert_eq!(
             t.link(NodeId::Server, NodeId::Platform(0)).unwrap(),
             LinkSpec::lan()
+        );
+    }
+
+    #[test]
+    fn fleet_edges() {
+        let t = FleetTopology::new(2, 3);
+        assert_eq!(t.platforms(), 2);
+        assert_eq!(t.replicas(), 3);
+        // Server + replicas + platforms, in that order.
+        let nodes = Topology::nodes(&t);
+        assert_eq!(nodes.len(), 6);
+        assert_eq!(nodes[0], NodeId::Server);
+        assert_eq!(nodes[1], NodeId::Replica(0));
+        assert_eq!(nodes[5], NodeId::Platform(1));
+        // Request path.
+        assert_eq!(t.link(NodeId::Platform(0), NodeId::Server), Some(LinkSpec::wan()));
+        assert_eq!(t.link(NodeId::Server, NodeId::Replica(2)), Some(LinkSpec::lan()));
+        // Response path skips the router.
+        assert_eq!(
+            t.link(NodeId::Replica(1), NodeId::Platform(0)),
+            Some(LinkSpec::wan())
+        );
+        // Handoff path.
+        assert_eq!(
+            t.link(NodeId::Replica(0), NodeId::Replica(1)),
+            Some(LinkSpec::lan())
+        );
+        assert!(t.link(NodeId::Replica(0), NodeId::Replica(0)).is_none());
+        // Out-of-range nodes have no edges.
+        assert!(t.link(NodeId::Platform(2), NodeId::Server).is_none());
+        assert!(t.link(NodeId::Server, NodeId::Replica(3)).is_none());
+        // Platforms never talk to replicas directly on the way in.
+        assert!(t.link(NodeId::Platform(0), NodeId::Replica(0)).is_none());
+    }
+
+    #[test]
+    fn fleet_link_overrides() {
+        let fast = LinkSpec {
+            bandwidth_bps: 1e10,
+            latency_s: 1e-5,
+        };
+        let t = FleetTopology::new(1, 2)
+            .with_lan(fast)
+            .with_uplink(LinkSpec::broadband());
+        assert_eq!(t.link(NodeId::Server, NodeId::Replica(0)), Some(fast));
+        assert_eq!(
+            t.link(NodeId::Platform(0), NodeId::Server),
+            Some(LinkSpec::broadband())
         );
     }
 

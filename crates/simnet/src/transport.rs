@@ -10,7 +10,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::message::Envelope;
 use crate::node::NodeId;
 use crate::stats::NetStats;
-use crate::topology::StarTopology;
+use crate::topology::{StarTopology, Topology};
 
 /// Errors from transport operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,16 +96,19 @@ struct Inboxes {
 /// lock, with a condition variable for the threaded runtime. Used both by
 /// the deterministic single-threaded trainers and (via `Arc`) by the
 /// thread-per-node runtime.
-pub struct MemoryTransport {
-    topology: StarTopology,
+///
+/// Generic over the [`Topology`] it routes over; the default keeps the
+/// paper's star so existing call sites read unchanged.
+pub struct MemoryTransport<Topo: Topology = StarTopology> {
+    topology: Topo,
     inboxes: Mutex<Inboxes>,
     available: Condvar,
     stats: NetStats,
 }
 
-impl MemoryTransport {
+impl<Topo: Topology> MemoryTransport<Topo> {
     /// Creates a transport for the given topology.
-    pub fn new(topology: StarTopology) -> Self {
+    pub fn new(topology: Topo) -> Self {
         let mut queues = HashMap::new();
         for node in topology.nodes() {
             queues.insert(node, VecDeque::new());
@@ -122,12 +125,12 @@ impl MemoryTransport {
     }
 
     /// Convenience: a shareable transport.
-    pub fn shared(topology: StarTopology) -> Arc<Self> {
+    pub fn shared(topology: Topo) -> Arc<Self> {
         Arc::new(Self::new(topology))
     }
 
     /// The topology this transport routes over.
-    pub fn topology(&self) -> &StarTopology {
+    pub fn topology(&self) -> &Topo {
         &self.topology
     }
 
@@ -137,7 +140,7 @@ impl MemoryTransport {
     }
 }
 
-impl Transport for MemoryTransport {
+impl<Topo: Topology> Transport for MemoryTransport<Topo> {
     fn send(&self, env: Envelope) -> Result<(), NetError> {
         let link = self.topology.link(env.src, env.dst);
         // Messages between non-adjacent nodes are a protocol bug; messages
@@ -199,7 +202,7 @@ impl Transport for MemoryTransport {
     }
 }
 
-impl fmt::Debug for MemoryTransport {
+impl<Topo: Topology + fmt::Debug> fmt::Debug for MemoryTransport<Topo> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MemoryTransport")
             .field("topology", &self.topology)

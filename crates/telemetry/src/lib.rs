@@ -48,7 +48,7 @@ pub use export::{
     SpanAggregate, Trace,
 };
 pub use metrics::{
-    counter_add, gauge_set, gauge_set_max, histogram_observe, percentile, reset_metrics, snapshot_metrics,
-    Counter, Gauge, Histogram, Metric, MetricSnapshot,
+    counter_add, counter_add_labeled, gauge_set, gauge_set_max, histogram_observe, percentile, reset_metrics,
+    snapshot_metrics, Counter, Gauge, Histogram, Metric, MetricSnapshot,
 };
 pub use span::{drain_spans, enabled, set_enabled, span, span_round, SpanGuard, SpanRecord};

@@ -206,6 +206,18 @@ pub fn counter_add(name: &str, n: u64) {
     }
 }
 
+/// Adds `n` to the counter named `name.label` (registers it on first
+/// use). A thin convenience over [`counter_add`] for per-replica /
+/// per-tenant fan-out ("fleet.served" + "replica-2" →
+/// "fleet.served.replica-2"): the label lands in the metric name, so
+/// labelled series sort together in exports.
+pub fn counter_add_labeled(name: &str, label: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_add(&format!("{name}.{label}"), n);
+}
+
 /// Sets the gauge named `name` to `v` (registers it on first use).
 pub fn gauge_set(name: &str, v: f64) {
     if !enabled() {
@@ -388,6 +400,33 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+        reset_metrics();
+    }
+
+    #[test]
+    fn labeled_counters_land_in_distinct_series() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset_metrics();
+        counter_add_labeled("fleet.served", "replica-0", 2);
+        counter_add_labeled("fleet.served", "replica-1", 3);
+        counter_add_labeled("fleet.served", "replica-0", 1);
+        set_enabled(false);
+        let snaps = snapshot_metrics();
+        assert_eq!(
+            snaps[0],
+            MetricSnapshot::Counter {
+                name: "fleet.served.replica-0".into(),
+                value: 3
+            }
+        );
+        assert_eq!(
+            snaps[1],
+            MetricSnapshot::Counter {
+                name: "fleet.served.replica-1".into(),
+                value: 3
+            }
+        );
         reset_metrics();
     }
 

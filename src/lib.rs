@@ -22,6 +22,9 @@
 //!   ([`medsplit_privacy`]),
 //! - [`serve`] — split-inference serving with dynamic batching, admission
 //!   control and latency accounting ([`medsplit_serve`]),
+//! - [`fleet`] — sharded multi-tenant serving: consistent-hash routing
+//!   over server replicas with quotas, weight-version pinning and
+//!   chaos-hardened drain/rejoin ([`medsplit_fleet`]),
 //! - [`telemetry`] — tracing spans, the metrics registry and trace
 //!   exporters; off until `MEDSPLIT_TRACE=1` ([`medsplit_telemetry`]).
 //!
@@ -56,6 +59,7 @@
 pub use medsplit_baselines as baselines;
 pub use medsplit_core as core;
 pub use medsplit_data as data;
+pub use medsplit_fleet as fleet;
 pub use medsplit_nn as nn;
 pub use medsplit_privacy as privacy;
 pub use medsplit_serve as serve;
