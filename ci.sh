@@ -13,25 +13,30 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
-echo "==> kernel_bench --smoke (ISA A/B digest gate)"
-# Tiny shapes; the binary asserts its own CSV schema, so a green run
-# means the benchmark harness itself still works. Run twice — once
-# forced onto the portable scalar kernels, once auto-dispatched — and
-# assert the kernel result digests are bit-identical, pinning the
-# cross-ISA determinism guarantee end to end.
+echo "==> kernel_bench --smoke (ISA A/B digest + plan-cache gate)"
+# Tiny shapes; the binary asserts its own CSV schema, that the serving
+# sweep's warm path repacks zero plan panels after warmup (cold vs warm
+# is checked in-process: the first pass packs, the timed passes must
+# not), and that planned logits are bit-identical to the unplanned
+# baseline. Run twice — once forced onto the portable scalar kernels,
+# once auto-dispatched — and assert both the kernel result digest and
+# the planned-path logits digest are bit-identical, pinning the
+# cross-ISA determinism guarantee for the direct AND cached-plan paths.
 scalar_dir="$(mktemp -d)"
 auto_dir="$(mktemp -d)"
 MEDSPLIT_RESULTS_DIR="$scalar_dir" MEDSPLIT_ISA=scalar \
     cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
 MEDSPLIT_RESULTS_DIR="$auto_dir" MEDSPLIT_ISA=auto \
     cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
-if ! cmp -s "$scalar_dir/kernel_digest.txt" "$auto_dir/kernel_digest.txt"; then
-    echo "ci.sh: kernel digests diverged between MEDSPLIT_ISA=scalar and auto:" >&2
-    echo "  scalar: $(cat "$scalar_dir/kernel_digest.txt")" >&2
-    echo "  auto:   $(cat "$auto_dir/kernel_digest.txt")" >&2
-    exit 1
-fi
-echo "    kernel digest identical across ISAs: $(cat "$auto_dir/kernel_digest.txt")"
+for digest in kernel_digest plan_digest; do
+    if ! cmp -s "$scalar_dir/$digest.txt" "$auto_dir/$digest.txt"; then
+        echo "ci.sh: $digest diverged between MEDSPLIT_ISA=scalar and auto:" >&2
+        echo "  scalar: $(cat "$scalar_dir/$digest.txt")" >&2
+        echo "  auto:   $(cat "$auto_dir/$digest.txt")" >&2
+        exit 1
+    fi
+    echo "    $digest identical across ISAs: $(cat "$auto_dir/$digest.txt")"
+done
 
 echo "==> miri (unsafe microkernel + simd + scratch modules)"
 # Miri (or cargo-careful as a fallback) over the unsafe kernel modules'

@@ -9,14 +9,27 @@
 //! `MEDSPLIT_ISA=scalar` semantics at one thread, and each row reports
 //! its throughput relative to that baseline.
 //!
+//! A small-batch *serving sweep* (`dense_serve` / `conv_serve` rows at
+//! batch 1/2/4/8) drives the plan-cache path — layers in `Mode::Eval`
+//! with prepacked weight panels — against the unplanned per-call packing
+//! path. Its `repacks_per_step` column counts plan panel packs inside
+//! the timed region; the binary asserts it is exactly 0.0 after warmup
+//! (eval/serve never repacks), that planned logits are bit-identical to
+//! the unplanned baseline, and that the training path repacks at most
+//! once per orientation per optimizer step.
+//!
 //! Outputs:
 //!   - `bench_results/kernel_bench.csv` (or `$MEDSPLIT_RESULTS_DIR`),
 //!   - `BENCH_kernels.json` in the current directory (repo root in CI),
-//!     with the dispatched ISA recorded,
+//!     with the dispatched ISA and the autotuner's recorded blocking
+//!     picks,
 //!   - `bench_results/kernel_digest.txt`: an FNV-1a digest of a fixed
 //!     deterministic kernel workload. CI runs the smoke bench twice —
 //!     `MEDSPLIT_ISA=scalar` and auto-detected — and asserts the digests
-//!     match, pinning the cross-ISA bit-identity guarantee end to end.
+//!     match, pinning the cross-ISA bit-identity guarantee end to end,
+//!   - `bench_results/plan_digest.txt`: the same guarantee for the
+//!     planned (cached-panel) path — an FNV-1a digest of every serving
+//!     sweep logit, also compared across ISAs by CI.
 //!
 //! Usage:
 //!   kernel_bench [--smoke] [--threads 1,2,4] [--reps N]
@@ -25,14 +38,18 @@
 //! schema, so CI can gate on the harness itself staying healthy.
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use medsplit_bench::report::{arg_present, arg_value, write_result, TextTable};
+use medsplit_nn::{Conv2d, Dense, Layer, Mode, Optimizer, Sgd};
 use medsplit_tensor::ops::conv::{conv2d_forward, Conv2dSpec};
+use medsplit_tensor::ops::plan;
 use medsplit_tensor::{init::rng_from_seed, pool, scratch, simd, Tensor};
 
 const CSV_HEADER: &str = "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,\
-                          speedup_vs_seed,gflops_vs_scalar,scratch_allocs_per_step";
+                          speedup_vs_seed,gflops_vs_scalar,scratch_allocs_per_step,\
+                          repacks_per_step";
 
 /// The seed repository's GEMM kernel, kept verbatim as the baseline: a
 /// cache-blocked triple loop with the `aval == 0.0` skip branch the
@@ -73,17 +90,21 @@ struct Row {
     speedup_vs_seed: f64,
     gflops_vs_scalar: f64,
     scratch_allocs_per_step: f64,
+    repacks_per_step: f64,
 }
 
 /// Times `body` for `reps` repetitions and returns the best wall time in
-/// seconds plus the scratch-arena allocation growth per repetition.
-fn time_best(reps: usize, body: impl Fn() + Sync) -> (f64, f64) {
+/// seconds, the scratch-arena allocation growth per repetition, and the
+/// plan panel packs per repetition (warm-path repacks).
+fn time_best(reps: usize, body: impl Fn() + Sync) -> (f64, f64, f64) {
     // Warm up on the caller AND every pool worker so no worker's
     // thread-local scratch arena grows inside the timed region — jobs go
     // to whichever workers win the queue race, so a single plain call
-    // cannot cover them all.
+    // cannot cover them all. The warmup also builds any plan-cache
+    // panels, so the timed region observes steady-state packing.
     pool::warmup(&body);
     let allocs_before = scratch::stats().allocations;
+    let packs_before = plan::stats().packs;
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
@@ -91,7 +112,8 @@ fn time_best(reps: usize, body: impl Fn() + Sync) -> (f64, f64) {
         best = best.min(t.elapsed().as_secs_f64());
     }
     let allocs = scratch::stats().allocations - allocs_before;
-    (best, allocs as f64 / reps as f64)
+    let packs = plan::stats().packs - packs_before;
+    (best, allocs as f64 / reps as f64, packs as f64 / reps as f64)
 }
 
 /// Measures `body` once under the portable scalar ISA at one thread and
@@ -100,7 +122,7 @@ fn scalar_baseline(reps: usize, body: impl Fn() + Sync) -> f64 {
     let active = simd::active_isa();
     assert!(simd::set_isa(simd::Isa::Scalar));
     pool::set_num_threads(1);
-    let (best_s, _) = time_best(reps, body);
+    let (best_s, _, _) = time_best(reps, body);
     assert!(simd::set_isa(active));
     best_s
 }
@@ -111,7 +133,7 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
     let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
 
-    let (seed_s, _) = time_best(reps, || {
+    let (seed_s, _, _) = time_best(reps, || {
         std::hint::black_box(seed_gemm(a.as_slice(), b.as_slice(), m, k, n));
     });
     // The scalar reference path is deliberately slow (libm-fused); a
@@ -124,7 +146,7 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
     let mut one_thread_s = f64::NAN;
     for &t in threads {
         pool::set_num_threads(t);
-        let (best_s, allocs) = time_best(reps, || {
+        let (best_s, allocs, repacks) = time_best(reps, || {
             std::hint::black_box(a.matmul(&b).expect("gemm"));
         });
         if t == 1 {
@@ -141,6 +163,7 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
             speedup_vs_seed: seed_s / best_s,
             gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
             scratch_allocs_per_step: allocs,
+            repacks_per_step: repacks,
         });
     }
     pool::set_num_threads(1);
@@ -176,7 +199,7 @@ fn bench_conv(
     let mut one_thread_s = f64::NAN;
     for &t in threads {
         pool::set_num_threads(t);
-        let (best_s, allocs) = time_best(reps, || {
+        let (best_s, allocs, repacks) = time_best(reps, || {
             std::hint::black_box(conv2d_forward(&input, &weight, Some(&bias), spec).expect("conv"));
         });
         if t == 1 {
@@ -195,23 +218,192 @@ fn bench_conv(
             speedup_vs_seed: f64::NAN,
             gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
             scratch_allocs_per_step: allocs,
+            repacks_per_step: repacks,
         });
     }
     pool::set_num_threads(1);
+}
+
+/// Small-batch serving sweep: `Dense` and `Conv2d` layers in `Mode::Eval`
+/// at batch 1/2/4/8, driven through their cached plans, against the
+/// unplanned per-call packing path.
+///
+/// For serving rows the `speedup_vs_seed` column reports planned vs
+/// *unplanned* (the per-call path is the "seed" the plan cache
+/// replaces). Asserts, per shape: planned logits are bit-identical to
+/// the unplanned baseline, and the warm path packs zero panels
+/// (`repacks_per_step == 0.0` — eval never repacks after warmup).
+///
+/// Returns an FNV-1a digest over every planned logit, written to
+/// `plan_digest.txt` for the CI cross-ISA comparison.
+fn bench_serving(reps: usize, rows: &mut Vec<Row>) -> u64 {
+    const BATCHES: [usize; 4] = [1, 2, 4, 8];
+    pool::set_num_threads(1);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+
+    // Dense serving shapes: split-model classifier heads (in -> out).
+    for &(inf, outf) in &[(256usize, 256usize), (784usize, 128usize)] {
+        let mut rng = rng_from_seed(23);
+        let w = Tensor::rand_uniform([outf, inf], -0.5, 0.5, &mut rng);
+        let b = Tensor::rand_uniform([outf], -0.1, 0.1, &mut rng);
+        // `Layer::forward` needs `&mut self` (it may build the plan);
+        // `time_best` bodies are `Fn + Sync`, so serialize via a mutex.
+        let layer = Mutex::new(Dense::from_parts(w.clone(), b.clone()).expect("dense layer"));
+        for &batch in &BATCHES {
+            let x = Tensor::rand_uniform([batch, inf], -1.0, 1.0, &mut rng);
+            let flops = 2.0 * (batch * inf * outf) as f64;
+            let direct = x.matmul_nt(&w).expect("direct gemm").try_add(&b).expect("bias");
+            let (direct_s, _, _) = time_best(reps, || {
+                std::hint::black_box(x.matmul_nt(&w).expect("direct gemm").try_add(&b).expect("bias"));
+            });
+            let planned = layer
+                .lock()
+                .expect("dense lock")
+                .forward(&x, Mode::Eval)
+                .expect("planned dense");
+            assert_eq!(
+                planned.as_slice(),
+                direct.as_slice(),
+                "planned dense logits diverged from the unplanned path at b{batch}x{inf}->{outf}"
+            );
+            digest = fnv1a_fold(digest, planned.as_slice());
+            let (best_s, allocs, repacks) = time_best(reps, || {
+                let mut l = layer.lock().expect("dense lock");
+                std::hint::black_box(l.forward(&x, Mode::Eval).expect("planned dense"));
+            });
+            assert_eq!(
+                repacks, 0.0,
+                "dense serve repacked panels after warmup at b{batch}x{inf}->{outf}"
+            );
+            rows.push(Row {
+                kernel: "dense_serve",
+                shape: format!("b{batch}x{inf}->{outf}"),
+                threads: 1,
+                reps,
+                best_ms: best_s * 1e3,
+                gflops: flops / best_s / 1e9,
+                speedup_vs_1t: 1.0,
+                speedup_vs_seed: direct_s / best_s,
+                gflops_vs_scalar: f64::NAN,
+                scratch_allocs_per_step: allocs,
+                repacks_per_step: repacks,
+            });
+        }
+    }
+
+    // Conv serving shape: an early-stage feature extractor block.
+    let spec = Conv2dSpec::square(3, 1, 1);
+    let (c, hw, o) = (8usize, 16usize, 16usize);
+    let mut rng = rng_from_seed(29);
+    let w = Tensor::rand_uniform([o, c, 3, 3], -0.5, 0.5, &mut rng);
+    let b = Tensor::rand_uniform([o], -0.1, 0.1, &mut rng);
+    let layer = Mutex::new(Conv2d::from_parts(w.clone(), b.clone(), spec).expect("conv layer"));
+    for &batch in &BATCHES {
+        let x = Tensor::rand_uniform([batch, c, hw, hw], -1.0, 1.0, &mut rng);
+        let (oh, ow) = spec.output_hw(hw, hw).expect("conv shape");
+        let flops = 2.0 * (batch * o * oh * ow * c * 9) as f64;
+        let direct = conv2d_forward(&x, &w, Some(&b), spec).expect("direct conv");
+        let (direct_s, _, _) = time_best(reps, || {
+            std::hint::black_box(conv2d_forward(&x, &w, Some(&b), spec).expect("direct conv"));
+        });
+        let planned = layer
+            .lock()
+            .expect("conv lock")
+            .forward(&x, Mode::Eval)
+            .expect("planned conv");
+        assert_eq!(
+            planned.as_slice(),
+            direct.as_slice(),
+            "planned conv logits diverged from the unplanned path at b{batch}x{c}x{hw}x{hw}"
+        );
+        digest = fnv1a_fold(digest, planned.as_slice());
+        let (best_s, allocs, repacks) = time_best(reps, || {
+            let mut l = layer.lock().expect("conv lock");
+            std::hint::black_box(l.forward(&x, Mode::Eval).expect("planned conv"));
+        });
+        assert_eq!(
+            repacks, 0.0,
+            "conv serve repacked panels after warmup at b{batch}x{c}x{hw}x{hw}"
+        );
+        rows.push(Row {
+            kernel: "conv_serve",
+            shape: format!("b{batch}x{c}x{hw}x{hw}->k3s1p1o{o}"),
+            threads: 1,
+            reps,
+            best_ms: best_s * 1e3,
+            gflops: flops / best_s / 1e9,
+            speedup_vs_1t: 1.0,
+            speedup_vs_seed: direct_s / best_s,
+            gflops_vs_scalar: f64::NAN,
+            scratch_allocs_per_step: allocs,
+            repacks_per_step: repacks,
+        });
+    }
+    digest
+}
+
+/// Asserts the training-path packing bound: each optimizer step
+/// invalidates a layer's plan exactly once, and the following
+/// forward+backward rebuilds at most the two panel orientations —
+/// never one pack per call.
+fn assert_training_repack_bound() {
+    pool::set_num_threads(1);
+    let mut rng = rng_from_seed(31);
+    let mut layer = Dense::new(24, 12, &mut rng);
+    let mut opt = Sgd::new(0.01);
+    let x = Tensor::rand_uniform([4, 24], -1.0, 1.0, &mut rng);
+    // Warmup: the first forward misses and packs, the first backward
+    // lazily packs the backward orientation.
+    let y = layer.forward(&x, Mode::Train).expect("train fwd");
+    layer
+        .backward(&Tensor::ones(y.shape().clone()))
+        .expect("train bwd");
+
+    let steps = 5u64;
+    let before = plan::stats();
+    for _ in 0..steps {
+        opt.step_and_zero(&mut layer);
+        let y = layer.forward(&x, Mode::Train).expect("train fwd");
+        layer
+            .backward(&Tensor::ones(y.shape().clone()))
+            .expect("train bwd");
+    }
+    let after = plan::stats();
+    assert_eq!(
+        after.invalidations - before.invalidations,
+        steps,
+        "expected exactly one plan invalidation per optimizer step"
+    );
+    assert!(
+        after.packs - before.packs <= 2 * steps,
+        "training repacked more than both orientations per step: {} packs over {steps} steps",
+        after.packs - before.packs
+    );
+}
+
+/// `NaN` metrics (no baseline for this row kind) render as an empty CSV
+/// field / JSON `null`.
+fn opt_metric(v: f64, csv: bool) -> String {
+    if v.is_nan() {
+        if csv {
+            String::new()
+        } else {
+            "null".into()
+        }
+    } else if csv {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
 }
 
 fn to_csv(rows: &[Row]) -> String {
     let mut csv = String::from(CSV_HEADER);
     csv.push('\n');
     for r in rows {
-        let seed = if r.speedup_vs_seed.is_nan() {
-            String::new()
-        } else {
-            format!("{:.2}", r.speedup_vs_seed)
-        };
         let _ = writeln!(
             csv,
-            "{},{},{},{},{:.3},{:.2},{:.2},{},{:.2},{:.2}",
+            "{},{},{},{},{:.3},{:.2},{:.2},{},{},{:.2},{:.2}",
             r.kernel,
             r.shape,
             r.threads,
@@ -219,9 +411,10 @@ fn to_csv(rows: &[Row]) -> String {
             r.best_ms,
             r.gflops,
             r.speedup_vs_1t,
-            seed,
-            r.gflops_vs_scalar,
-            r.scratch_allocs_per_step
+            opt_metric(r.speedup_vs_seed, true),
+            opt_metric(r.gflops_vs_scalar, true),
+            r.scratch_allocs_per_step,
+            r.repacks_per_step
         );
     }
     csv
@@ -235,26 +428,37 @@ fn to_json(rows: &[Row], host_threads: usize, isa: &str) -> String {
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        let seed = if r.speedup_vs_seed.is_nan() {
-            "null".to_string()
-        } else {
-            format!("{:.3}", r.speedup_vs_seed)
-        };
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"best_ms\": {:.4}, \
              \"gflops\": {:.3}, \"speedup_vs_1t\": {:.3}, \"speedup_vs_seed\": {}, \
-             \"gflops_vs_scalar\": {:.3}, \"scratch_allocs_per_step\": {:.2}}}{}",
+             \"gflops_vs_scalar\": {}, \"scratch_allocs_per_step\": {:.2}, \
+             \"repacks_per_step\": {:.2}}}{}",
             r.kernel,
             r.shape,
             r.threads,
             r.best_ms,
             r.gflops,
             r.speedup_vs_1t,
-            seed,
-            r.gflops_vs_scalar,
+            opt_metric(r.speedup_vs_seed, false),
+            opt_metric(r.gflops_vs_scalar, false),
             r.scratch_allocs_per_step,
+            r.repacks_per_step,
             comma
+        );
+    }
+    json.push_str("  ],\n");
+    // The autotuner's per-shape blocking picks, so the committed bench
+    // numbers are self-describing about how each shape was executed.
+    let _ = writeln!(json, "  \"autotuner_picks\": [");
+    let picks = plan::recorded_picks();
+    for (i, (key, b)) in picks.iter().enumerate() {
+        let comma = if i + 1 == picks.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"pick\": \"{key}\", \"mr\": {}, \"nr\": {}, \"kc\": {}, \"nc\": {}, \
+             \"row_block\": {}}}{comma}",
+            b.mr, b.nr, b.kc, b.nc, b.row_block
         );
     }
     json.push_str("  ]\n}\n");
@@ -348,6 +552,11 @@ fn main() {
         bench_conv("conv2d", 4, 64, 32, 64, 3, 1, 1, &threads, reps, &mut rows);
         bench_conv("conv2d", 8, 3, 56, 64, 7, 2, 3, &threads, reps, &mut rows);
     }
+    // Small-batch serving sweep through the plan cache (asserts zero
+    // warm-path repacks and bit-identical logits), plus the training
+    // repack bound.
+    let plan_digest = bench_serving(reps, &mut rows);
+    assert_training_repack_bound();
 
     let csv = to_csv(&rows);
     assert!(
@@ -377,6 +586,8 @@ fn main() {
     let digest = kernel_digest();
     let digest_path =
         write_result("kernel_digest.txt", &format!("{digest:016x}\n")).expect("write kernel_digest.txt");
+    let plan_digest_path =
+        write_result("plan_digest.txt", &format!("{plan_digest:016x}\n")).expect("write plan_digest.txt");
 
     let mut table = TextTable::new(
         "kernel_bench (best-of-reps wall time)",
@@ -390,6 +601,7 @@ fn main() {
             "vs seed",
             "vs scalar",
             "allocs/step",
+            "repacks/step",
         ],
     );
     for r in &rows {
@@ -405,8 +617,13 @@ fn main() {
             } else {
                 format!("{:.2}x", r.speedup_vs_seed)
             },
-            format!("{:.2}x", r.gflops_vs_scalar),
+            if r.gflops_vs_scalar.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.2}x", r.gflops_vs_scalar)
+            },
             format!("{:.2}", r.scratch_allocs_per_step),
+            format!("{:.2}", r.repacks_per_step),
         ]);
     }
     println!("{table}");
@@ -416,12 +633,16 @@ fn main() {
     );
     println!("host available_parallelism: {host_threads}");
     println!(
-        "wrote {}, {} and {}",
+        "wrote {}, {}, {} and {}",
         csv_path.display(),
         json_path.display(),
-        digest_path.display()
+        digest_path.display(),
+        plan_digest_path.display()
     );
     if smoke {
-        println!("smoke OK: {} rows, schema verified", rows.len());
+        println!(
+            "smoke OK: {} rows, schema verified, serve repacks 0.0, planned logits match unplanned",
+            rows.len()
+        );
     }
 }

@@ -7,7 +7,8 @@
 //!     each round's wall time (the unattributed remainder is `other`),
 //!   - a per-kernel attribution (gemm/conv time, resolved to rounds via
 //!     span parent links),
-//!   - the metric counters (per-`MessageKind` wire bytes, pool, serve),
+//!   - the metric counters (per-`MessageKind` wire bytes, pool, serve,
+//!     and the `plan.*` plan-cache hit/miss/invalidation traffic),
 //!   - `trace_phases.csv` in `bench_results/` (or `$MEDSPLIT_RESULTS_DIR`).
 //!
 //! Usage:
@@ -235,6 +236,11 @@ fn assert_smoke(trace: &Trace, csv: &str) {
         "net.bytes.logit_grads",
         "net.bytes.cut_grads",
         "net.msgs.activations",
+        // Plan-cache traffic: round 1 builds every layer's plan (misses),
+        // each optimizer step afterwards invalidates exactly the touched
+        // parameters' plans.
+        "plan.cache_misses",
+        "plan.invalidations",
     ] {
         assert!(
             trace.counter_total(prefix) > 0,

@@ -75,6 +75,12 @@ impl ModelBank {
     /// Instantiates a [`SplitServer`] running version `v`, verifying the
     /// restored weights against the bank's digest.
     ///
+    /// The restore bumps every parameter's version counter, so the new
+    /// server's layers pack fresh plan-cache panels on their first
+    /// forward and then serve them immutably: a pinned weight version
+    /// maps to one immutable set of cached plans, with no invalidation
+    /// traffic between versions.
+    ///
     /// # Errors
     ///
     /// Returns [`SplitError::Config`] for an unknown version and protocol

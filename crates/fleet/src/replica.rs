@@ -215,6 +215,10 @@ impl Replica {
         Ok((serve_done, outcomes))
     }
 
+    /// The replica's cached per-version server, instantiated from the
+    /// bank on first use. Keeping the instance (rather than rebuilding
+    /// per request) also keeps its layers' prepacked plan panels warm:
+    /// after the first request against a version, serving never repacks.
     fn server_for(&mut self, bank: &ModelBank, version: u32) -> Result<&mut SplitServer> {
         if let std::collections::hash_map::Entry::Vacant(slot) = self.servers.entry(version) {
             slot.insert(bank.instantiate(version)?);

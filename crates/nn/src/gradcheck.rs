@@ -68,6 +68,7 @@ pub fn check_layer<L: Layer>(
             l.visit_params(&mut |p| {
                 if idx == pi {
                     p.value.as_mut_slice()[ci] += delta;
+                    p.bump_version();
                 }
                 idx += 1;
             });

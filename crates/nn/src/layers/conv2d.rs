@@ -1,13 +1,20 @@
 //! 2-D convolution layer.
 
-use medsplit_tensor::ops::conv::{conv2d_backward, conv2d_forward};
-use medsplit_tensor::{init, Conv2dSpec, Result, Tensor, TensorError};
+use medsplit_tensor::ops::conv::{conv2d_backward, conv2d_backward_planned, conv2d_forward_planned};
+use medsplit_tensor::{init, Conv2dSpec, ConvPlan, Result, Tensor, TensorError};
 use rand::Rng;
 
 use crate::layer::{missing_cache, Layer, Mode};
 use crate::param::Param;
 
 /// A 2-D convolution layer over `NCHW` tensors with `OIHW` filters.
+///
+/// The filter matrix is prepacked into a cached [`ConvPlan`] keyed on
+/// the parameter's version counter; the forward pass runs the fused
+/// im2col-into-packed-tiles lowering against those panels, and the
+/// backward pass shares the plan's im2col geometry. Results are
+/// bit-identical to the unplanned `conv2d_forward`/`conv2d_backward`
+/// path.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
@@ -16,6 +23,7 @@ pub struct Conv2d {
     in_channels: usize,
     out_channels: usize,
     cached_input: Option<Tensor>,
+    plan: Option<ConvPlan>,
 }
 
 impl Conv2d {
@@ -29,6 +37,7 @@ impl Conv2d {
             in_channels,
             out_channels,
             cached_input: None,
+            plan: None,
         }
     }
 
@@ -68,6 +77,7 @@ impl Conv2d {
             in_channels,
             out_channels,
             cached_input: None,
+            plan: None,
         })
     }
 
@@ -79,7 +89,13 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = conv2d_forward(input, &self.weight.value, Some(&self.bias.value), self.spec)?;
+        let plan = ConvPlan::ensure(
+            &mut self.plan,
+            &self.weight.value,
+            self.spec,
+            self.weight.version(),
+        )?;
+        let out = conv2d_forward_planned(input, plan, Some(&self.bias.value))?;
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
@@ -91,7 +107,16 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .ok_or_else(|| missing_cache("Conv2d"))?;
-        let (gi, gw, gb) = conv2d_backward(input, &self.weight.value, grad_out, self.spec)?;
+        // The plan is current in any forward→backward step; fall back to
+        // the unplanned path if the weight moved since the forward.
+        let (gi, gw, gb) = match self
+            .plan
+            .as_mut()
+            .filter(|p| p.generation() == self.weight.version())
+        {
+            Some(plan) => conv2d_backward_planned(input, &self.weight.value, grad_out, plan)?,
+            None => conv2d_backward(input, &self.weight.value, grad_out, self.spec)?,
+        };
         self.weight.accumulate_grad(&gw);
         self.bias.accumulate_grad(&gb);
         Ok(gi)

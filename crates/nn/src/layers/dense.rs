@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use medsplit_tensor::{init, Result, Tensor, TensorError};
+use medsplit_tensor::{init, GemmPlan, Result, Tensor, TensorError};
 use rand::Rng;
 
 use crate::layer::{missing_cache, Layer, Mode};
@@ -9,6 +9,11 @@ use crate::param::Param;
 /// A fully-connected (affine) layer: `y = x · Wᵀ + b`.
 ///
 /// Input `[N, in]`, output `[N, out]`, weight `[out, in]`, bias `[out]`.
+///
+/// The weight's microkernel panels are prepacked into a cached
+/// [`GemmPlan`] keyed on the parameter's version counter: eval/serve
+/// never repacks after the first forward, training repacks once per
+/// optimizer step, and results are bit-identical to the unplanned path.
 #[derive(Debug)]
 pub struct Dense {
     weight: Param,
@@ -16,6 +21,7 @@ pub struct Dense {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    plan: Option<GemmPlan>,
 }
 
 impl Dense {
@@ -28,6 +34,7 @@ impl Dense {
             in_features,
             out_features,
             cached_input: None,
+            plan: None,
         }
     }
 
@@ -58,6 +65,7 @@ impl Dense {
             in_features,
             out_features,
             cached_input: None,
+            plan: None,
         })
     }
 
@@ -81,7 +89,8 @@ impl Layer for Dense {
                 op: "Dense::forward",
             });
         }
-        let out = input.matmul_nt(&self.weight.value)?; // [N, out]
+        let plan = GemmPlan::ensure(&mut self.plan, &self.weight.value, self.weight.version())?;
+        let out = plan.matmul_nt(input)?; // [N, out], cached panels
         let out = out.try_add(&self.bias.value)?; // broadcast bias over rows
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
@@ -97,8 +106,17 @@ impl Layer for Dense {
         // db = column sums of g
         let gb = grad_out.sum_axis(0)?;
         self.bias.accumulate_grad(&gb);
-        // dx = g · W -> [N, in]
-        grad_out.matmul(&self.weight.value)
+        // dx = g · W -> [N, in], through the plan's cached backward
+        // panels when current (always, in a forward→backward step);
+        // fall back to the direct path if the weight moved since.
+        match self
+            .plan
+            .as_mut()
+            .filter(|p| p.generation() == self.weight.version())
+        {
+            Some(plan) => plan.matmul_nn(grad_out, &self.weight.value),
+            None => grad_out.matmul(&self.weight.value),
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

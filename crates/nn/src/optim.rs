@@ -97,6 +97,7 @@ impl Optimizer for Sgd {
                     value[i] -= lr * g;
                 }
             }
+            p.bump_version();
             idx += 1;
         });
     }
@@ -169,6 +170,7 @@ impl Optimizer for Adam {
                 let vhat = v[i] / bc2;
                 value[i] -= lr * mhat / (vhat.sqrt() + eps);
             }
+            p.bump_version();
             idx += 1;
         });
     }

@@ -17,6 +17,11 @@ pub struct Param {
     pub grad: Tensor,
     /// Human-readable name (`"conv1.weight"`, ...) for debugging.
     pub name: String,
+    /// Version counter, bumped by every code path that mutates `value`
+    /// (optimizer steps, snapshot restores, flat-vector writes). Layers
+    /// compare it against their cached execution plan's generation to
+    /// decide whether prepacked weight panels are still current.
+    version: u64,
 }
 
 impl Param {
@@ -27,12 +32,26 @@ impl Param {
             value,
             grad,
             name: name.into(),
+            version: 0,
         }
     }
 
     /// Number of scalar entries.
     pub fn numel(&self) -> usize {
         self.value.numel()
+    }
+
+    /// The current value version. Monotonically increasing; two reads
+    /// returning the same number guarantee `value` was not touched by a
+    /// version-disciplined writer in between.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records that `value` was mutated. Every code path that writes
+    /// `value` must call this so cached execution plans repack.
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Resets the gradient to zero.

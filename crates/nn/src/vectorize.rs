@@ -48,6 +48,7 @@ pub fn set_parameter_vector(layer: &mut dyn Layer, vector: &Tensor) -> Result<()
     layer.visit_params(&mut |p| {
         let n = p.numel();
         p.value.as_mut_slice().copy_from_slice(&data[offset..offset + n]);
+        p.bump_version();
         offset += n;
     });
     Ok(())
@@ -90,6 +91,7 @@ pub fn load_snapshot_vector(layer: &mut dyn Layer, vector: &Tensor) -> Result<()
     layer.visit_params(&mut |p| {
         let n = p.numel();
         p.value.as_mut_slice().copy_from_slice(&data[offset..offset + n]);
+        p.bump_version();
         offset += n;
     });
     layer.visit_state(&mut |t| {
@@ -174,6 +176,7 @@ pub fn apply_flat_update(layer: &mut dyn Layer, update: &Tensor, lr: f32) -> Res
         for (v, &u) in p.value.as_mut_slice().iter_mut().zip(&data[offset..offset + n]) {
             *v -= lr * u;
         }
+        p.bump_version();
         offset += n;
     });
     Ok(())

@@ -25,7 +25,9 @@
 //! bit-identical-across-`MEDSPLIT_ISA` guarantee of the GEMM path.
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{gemm_into, gemm_nt_into, gemm_tn_into};
+use crate::ops::matmul::{self, gemm_into, gemm_nt_into, gemm_tn_into, PanelsA};
+use crate::ops::microkernel::NR;
+use crate::ops::plan::{choose_blocking, ConvPlan, PlanKind};
 use crate::pool;
 use crate::scratch;
 use crate::tensor::Tensor;
@@ -277,6 +279,133 @@ pub fn conv2d_forward(
     Ok(out)
 }
 
+/// Gathers one NR-wide tile of output pixels directly into microkernel
+/// B-tile order: `tile[p*NR + jr]` is im2col row `p` at output pixel
+/// `j0+jr` (zero for padding reads and past `cols`). Byte-identical to
+/// materializing the full `cols` matrix with [`im2col_single`] and then
+/// packing it with the GEMM's B-tile packer — the fused path just never
+/// builds the intermediate.
+#[allow(clippy::too_many_arguments)]
+fn pack_patch_tile(
+    img: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    ow: usize,
+    j0: usize,
+    cols: usize,
+    tile: &mut [f32],
+) {
+    let pad = spec.padding as isize;
+    // Hoist the per-pixel coordinate math out of the row loop: the tile's
+    // output pixels are fixed, so their top-left input coordinates are
+    // computed once and each im2col row only adds its (kh, kw) offset.
+    let mut iy0 = [0isize; NR];
+    let mut ix0 = [0isize; NR];
+    for jr in 0..cols {
+        let j = j0 + jr;
+        iy0[jr] = ((j / ow) * spec.stride) as isize - pad;
+        ix0[jr] = ((j % ow) * spec.stride) as isize - pad;
+    }
+    let mut p = 0usize;
+    for ch in 0..c {
+        let img_ch = &img[ch * h * w..(ch + 1) * h * w];
+        for kh in 0..spec.kernel_h {
+            for kw in 0..spec.kernel_w {
+                let dst = &mut tile[p * NR..(p + 1) * NR];
+                for (jr, v) in dst.iter_mut().enumerate().take(cols) {
+                    let iy = iy0[jr] + kh as isize;
+                    let ix = ix0[jr] + kw as isize;
+                    *v = if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                        0.0
+                    } else {
+                        img_ch[iy as usize * w + ix as usize]
+                    };
+                }
+                dst[cols..].fill(0.0);
+                p += 1;
+            }
+        }
+    }
+}
+
+/// Planned forward 2-D convolution: the plan's prepacked filter panels ×
+/// patch tiles gathered straight into packed B order.
+///
+/// The fused lowering never materializes the `[C*KH*KW, OH*OW]` column
+/// matrix: each NR-wide tile of output pixels is gathered directly into
+/// a `kc×nc` pack tile in the scratch arena, halving the per-image
+/// scratch footprint and skipping one full write+read of the columns.
+/// Bit-identical to [`conv2d_forward`] with the plan's weight (see
+/// [`pack_patch_tile`]).
+///
+/// # Errors
+///
+/// Returns shape errors if `input`/`bias` are inconsistent with the plan.
+pub fn conv2d_forward_planned(input: &Tensor, plan: &mut ConvPlan, bias: Option<&Tensor>) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "conv2d_forward")?;
+    let o = plan.out_channels();
+    if c != plan.in_channels() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().clone(),
+            rhs: crate::shape::Shape::from([
+                o,
+                plan.in_channels(),
+                plan.spec().kernel_h,
+                plan.spec().kernel_w,
+            ]),
+            op: "conv2d_forward",
+        });
+    }
+    if let Some(b) = bias {
+        if b.numel() != o {
+            return Err(TensorError::LengthMismatch {
+                expected: o,
+                actual: b.numel(),
+            });
+        }
+    }
+    let geo = plan.geometry(h, w)?;
+    let _span = medsplit_telemetry::span("conv_fwd");
+    let spec = plan.spec();
+    let (rows, ncols) = (geo.rows, geo.ncols);
+    let nt = ncols.div_ceil(NR);
+    let blocking = choose_blocking(PlanKind::ConvFwd, o, rows, ncols);
+    let wpack = plan.fwd_panels();
+    let mut out = Tensor::zeros([n, o, geo.oh, geo.ow]);
+    let src = input.as_slice();
+    let bias = bias.map(Tensor::as_slice);
+    pool::parallel_chunks_mut(out.as_mut_slice(), o * ncols, |i, dst| {
+        let img = &src[i * c * h * w..(i + 1) * c * h * w];
+        scratch::with_f32(nt * rows * NR, |bpack| {
+            for (jt, tile) in bpack.chunks_exact_mut(rows * NR).enumerate() {
+                let j0 = jt * NR;
+                pack_patch_tile(img, c, h, w, spec, geo.ow, j0, NR.min(ncols - j0), tile);
+            }
+            matmul::gemm_compute_packed_b(
+                PanelsA::Packed(wpack),
+                bpack,
+                dst,
+                o,
+                rows,
+                ncols,
+                true,
+                blocking.kc,
+                blocking.row_block,
+            );
+        });
+        if let Some(b) = bias {
+            for (oc, &bv) in b.iter().enumerate() {
+                for v in &mut dst[oc * ncols..(oc + 1) * ncols] {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
 /// Gradients of a 2-D convolution.
 ///
 /// Given the upstream gradient `grad_out` (`[N, O, OH, OW]`), returns
@@ -344,6 +473,120 @@ pub fn conv2d_backward(
                 scratch::with_f32(rows * ncols, |dcols| {
                     dcols.fill(0.0);
                     gemm_tn_into(wmat, gmat, dcols, o, rows, ncols);
+                    // SAFETY: image `i` belongs to exactly one chunk, so
+                    // the reborrowed region is exclusive to this task.
+                    let img = unsafe { gi.slice(i * c * h * w, (i + 1) * c * h * w) };
+                    col2im_single(dcols, c, h, w, spec, oh, ow, img);
+                });
+            });
+            // db += row sums of G
+            for (oc, gb) in gb_part.iter_mut().enumerate() {
+                *gb += gmat[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
+            }
+        }
+    });
+    for chunk in partials.chunks_exact(pstride) {
+        let (gw_part, gb_part) = chunk.split_at(o * rows);
+        for (dst, &v) in grad_weight.as_mut_slice().iter_mut().zip(gw_part) {
+            *dst += v;
+        }
+        for (dst, &v) in grad_bias.as_mut_slice().iter_mut().zip(gb_part) {
+            *dst += v;
+        }
+    }
+    Ok((grad_input, grad_weight, grad_bias))
+}
+
+/// Planned gradients of a 2-D convolution: identical math and reduction
+/// order to [`conv2d_backward`], but the im2col geometry comes from the
+/// plan (shared with the forward pass, computed once) and the
+/// `dcols = Wᵀ·G` GEMM streams the plan's cached transposed filter
+/// panels instead of re-packing the weight per image chunk.
+///
+/// `weight` must be the tensor the plan packed (the layer checks the
+/// version before dispatching here); it is still needed directly for the
+/// weight-gradient GEMM and the lazy transposed-panel build.
+///
+/// # Errors
+///
+/// Returns shape errors if dimensions are inconsistent with the plan.
+pub fn conv2d_backward_planned(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    plan: &mut ConvPlan,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let (n, c, h, w) = check_nchw(input, "conv2d_backward")?;
+    let (o, ci, kh, kw) = check_nchw(weight, "conv2d_backward(weight)")?;
+    let (gn, go, goh, gow) = check_nchw(grad_out, "conv2d_backward(grad)")?;
+    if c != plan.in_channels() || o != plan.out_channels() || ci != c {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().clone(),
+            rhs: weight.shape().clone(),
+            op: "conv2d_backward",
+        });
+    }
+    let geo = plan.geometry(h, w)?;
+    if gn != n || go != o || goh != geo.oh || gow != geo.ow {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().clone(),
+            rhs: input.shape().clone(),
+            op: "conv2d_backward",
+        });
+    }
+    let _span = medsplit_telemetry::span("conv_bwd");
+    let spec = plan.spec();
+    let (rows, ncols, oh, ow) = (geo.rows, geo.ncols, geo.oh, geo.ow);
+    let blocking = choose_blocking(PlanKind::ConvBwd, rows, o, ncols);
+    let wmat = weight.as_slice();
+    let wpack_t = plan.bwd_panels(wmat);
+    let mut grad_input = Tensor::zeros([n, c, h, w]);
+    let mut grad_weight = Tensor::zeros([o, c, kh, kw]);
+    let mut grad_bias = Tensor::zeros([o]);
+    let src = input.as_slice();
+    let g = grad_out.as_slice();
+    // Same fixed-chunk partial-sum scheme as the unplanned path: the
+    // reduction order (ascending chunk index) never depends on the pool
+    // size, so gradients stay bit-identical across thread counts.
+    let pstride = o * rows + o;
+    let nchunks = n.div_ceil(BWD_CHUNK);
+    let mut partials = vec![0.0f32; nchunks * pstride];
+    let gi = pool::RawSliceMut::new(grad_input.as_mut_slice());
+    pool::parallel_chunks_mut(&mut partials, pstride, |chunk_idx, partial| {
+        let (gw_part, gb_part) = partial.split_at_mut(o * rows);
+        let lo = chunk_idx * BWD_CHUNK;
+        let hi = (lo + BWD_CHUNK).min(n);
+        for i in lo..hi {
+            let gmat = &g[i * o * ncols..(i + 1) * o * ncols];
+            scratch::with_f32(rows * ncols, |cols| {
+                im2col_single(
+                    &src[i * c * h * w..(i + 1) * c * h * w],
+                    c,
+                    h,
+                    w,
+                    spec,
+                    oh,
+                    ow,
+                    cols,
+                );
+                // dW += G · colsᵀ
+                gemm_nt_into(gmat, cols, gw_part, o, rows, ncols, true);
+                // dcols = Wᵀ · G from the cached transposed panels.
+                scratch::with_f32(rows * ncols, |dcols| {
+                    dcols.fill(0.0);
+                    matmul::gemm_prepacked_a(
+                        wpack_t,
+                        gmat,
+                        ncols,
+                        1,
+                        dcols,
+                        rows,
+                        o,
+                        ncols,
+                        true,
+                        blocking.kc,
+                        blocking.row_block,
+                    );
                     // SAFETY: image `i` belongs to exactly one chunk, so
                     // the reborrowed region is exclusive to this task.
                     let img = unsafe { gi.slice(i * c * h * w, (i + 1) * c * h * w) };

@@ -38,7 +38,7 @@ use crate::tensor::Tensor;
 /// Fixed (never derived from the thread count) to keep results
 /// bit-identical across pool sizes; a multiple of [`MR`] so only the
 /// final panel sees partial row blocks.
-const BLOCK: usize = 11 * MR; // 66
+pub(crate) const BLOCK: usize = 11 * MR; // 66
 
 /// Upper bound on the inner-dimension block: `kc·NR` floats of packed B
 /// plus `kc·MR` of packed A stay comfortably inside a 32 KiB L1 at 320.
@@ -49,7 +49,7 @@ const KC_MAX: usize = 320;
 /// not `320 + 192`) keep per-block work uniform; deriving the size from
 /// the shape fixed the small-`m`/large-`k` shapes the old constant
 /// mis-sized.
-fn kc_block(k: usize) -> usize {
+pub(crate) fn kc_block(k: usize) -> usize {
     debug_assert!(k > 0);
     k.div_ceil(k.div_ceil(KC_MAX))
 }
@@ -63,6 +63,191 @@ fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
         });
     }
     Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// How the compute driver obtains each MR-row panel of the logical A
+/// operand.
+#[derive(Clone, Copy)]
+pub(crate) enum PanelsA<'a> {
+    /// Read A through `(row, col)` strides, packing each MR block into a
+    /// per-task scratch panel (the classic per-call path).
+    Strided { src: &'a [f32], rs: usize, cs: usize },
+    /// A was prepacked by a plan ([`crate::ops::plan`]):
+    /// `m.div_ceil(MR)` consecutive `k*MR` panels, MR-major within a
+    /// depth step, zero-padded past row `m` — byte-identical to what
+    /// [`microkernel::pack_a_panel`] produces.
+    Packed(&'a [f32]),
+}
+
+/// The kb/jt tile loops over one MR-row block: streams the packed A
+/// panel (`ap_all`, `k*MR` floats) and the whole packed B (`bpack`,
+/// `nt*k*NR`) through the register kernel. Shared verbatim by the
+/// per-call path and the plan-cached paths, so both produce identical
+/// per-element operation sequences — the bit-identity contract.
+#[allow(clippy::too_many_arguments)]
+fn compute_row_block(
+    kernel: microkernel::TileKernel,
+    ap_all: &[f32],
+    bpack: &[f32],
+    panel: &mut [f32],
+    ib: usize,
+    mr: usize,
+    k: usize,
+    n: usize,
+    nt: usize,
+    kc: usize,
+) {
+    for kb in (0..k).step_by(kc) {
+        let kcur = (k - kb).min(kc);
+        let ap = ap_all[kb * MR..].as_ptr();
+        for jt in 0..nt {
+            let j0 = jt * NR;
+            let cols = NR.min(n - j0);
+            let bp = bpack[jt * k * NR + kb * NR..].as_ptr();
+            if mr == MR && cols == NR {
+                // SAFETY: the full MR×NR tile at `panel[ib*n + j0]` with
+                // row stride `n` is in bounds; packs are sized `k*MR` /
+                // `k*NR` past the `kb` offsets; `bp` is 64-byte aligned
+                // (pack buffers come from the aligned scratch arena or a
+                // plan's aligned panel store, and `NR` floats are a whole
+                // cache line); `kernel` came from `tile_kernel()` so the
+                // ISA is available.
+                unsafe { kernel(kcur, ap, bp, panel.as_mut_ptr().add(ib * n + j0), n) };
+            } else {
+                // Edge tile: stage through a full MR×NR buffer (valid C
+                // in the live region, zeros elsewhere; the packs are
+                // zero-padded so dead lanes accumulate 0) and run the
+                // identical kernel — same per-element op order as
+                // interior tiles.
+                let mut stage = [0.0f32; MR * NR];
+                for (r, srow) in stage.chunks_exact_mut(NR).enumerate().take(mr) {
+                    let co = (ib + r) * n + j0;
+                    srow[..cols].copy_from_slice(&panel[co..co + cols]);
+                }
+                // SAFETY: `stage` is a full MR×NR tile with ldc = NR;
+                // pack bounds as above. (The AVX2 kernel loads B aligned;
+                // the stage buffer is only ever C.)
+                unsafe { kernel(kcur, ap, bp, stage.as_mut_ptr(), NR) };
+                for (r, srow) in stage.chunks_exact(NR).enumerate().take(mr) {
+                    let co = (ib + r) * n + j0;
+                    panel[co..co + cols].copy_from_slice(&srow[..cols]);
+                }
+            }
+        }
+    }
+}
+
+/// The compute half of the GEMM driver: C row panels × prepacked B.
+///
+/// `bpack` must hold `n.div_ceil(NR)` tiles of `k*NR` floats in
+/// microkernel order (64-byte aligned), exactly as
+/// [`microkernel::pack_b_tile`] lays them out. `row_block` (a multiple
+/// of [`MR`]) is the parallel work unit; it never affects results — each
+/// output element always streams the full `k` range in ascending order
+/// through the same fused kernel, so any `row_block`/`kc` choice is
+/// bit-identical (the partial sum parked in C between `kc` blocks is the
+/// same `f32` the register held).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_compute_packed_b(
+    a: PanelsA<'_>,
+    bpack: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    kc: usize,
+    row_block: usize,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(row_block >= MR && row_block.is_multiple_of(MR));
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let kernel = microkernel::tile_kernel();
+    let nt = n.div_ceil(NR);
+    debug_assert_eq!(bpack.len(), nt * k * NR);
+    pool::parallel_chunks_mut(c, row_block * n, |pi, panel| {
+        let i0 = pi * row_block;
+        let rows = panel.len() / n;
+        if !accumulate {
+            panel.fill(0.0);
+        }
+        match a {
+            PanelsA::Strided { src, rs, cs } => scratch::with_f32(k * MR, |apack| {
+                for ib in (0..rows).step_by(MR) {
+                    let mr = (rows - ib).min(MR);
+                    microkernel::pack_a_panel(src, rs, cs, i0 + ib, mr, k, apack);
+                    compute_row_block(kernel, apack, bpack, panel, ib, mr, k, n, nt, kc);
+                }
+            }),
+            PanelsA::Packed(panels) => {
+                for ib in (0..rows).step_by(MR) {
+                    let mr = (rows - ib).min(MR);
+                    let panel_a = &panels[((i0 + ib) / MR) * k * MR..][..k * MR];
+                    compute_row_block(kernel, panel_a, bpack, panel, ib, mr, k, n, nt, kc);
+                }
+            }
+        }
+    });
+}
+
+/// Packs B (read through strides) into microkernel tile order inside a
+/// scratch buffer and runs the compute driver with a prepacked A panel
+/// set — the backward half of a conv plan (cached `Wᵀ` panels × fresh
+/// per-step gradients).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_prepacked_a(
+    apanels: &[f32],
+    b: &[f32],
+    brs: usize,
+    bcs: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    kc: usize,
+    row_block: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        gemm_compute_packed_b(
+            PanelsA::Packed(apanels),
+            &[],
+            c,
+            m,
+            k,
+            n,
+            accumulate,
+            kc,
+            row_block,
+        );
+        return;
+    }
+    let nt = n.div_ceil(NR);
+    scratch::with_f32(nt * k * NR, |bpack| {
+        pool::parallel_chunks_mut(bpack, k * NR, |jt, tile| {
+            let j0 = jt * NR;
+            microkernel::pack_b_tile(b, brs, bcs, j0, NR.min(n - j0), k, tile);
+        });
+        gemm_compute_packed_b(
+            PanelsA::Packed(apanels),
+            bpack,
+            c,
+            m,
+            k,
+            n,
+            accumulate,
+            kc,
+            row_block,
+        );
+    });
 }
 
 /// The shared GEMM driver: `C (+)= opA(A) · opB(B)` where the logical
@@ -94,7 +279,6 @@ fn gemm_strided(
         }
         return;
     }
-    let kernel = microkernel::tile_kernel();
     let nt = n.div_ceil(NR);
     let kc = kc_block(k);
     scratch::with_f32(nt * k * NR, |bpack| {
@@ -107,60 +291,21 @@ fn gemm_strided(
             let j0 = jt * NR;
             microkernel::pack_b_tile(b, brs, bcs, j0, NR.min(n - j0), k, tile);
         });
-        let bpack: &[f32] = bpack;
-        pool::parallel_chunks_mut(c, BLOCK * n, |pi, panel| {
-            let i0 = pi * BLOCK;
-            let rows = panel.len() / n;
-            if !accumulate {
-                panel.fill(0.0);
-            }
-            scratch::with_f32(k * MR, |apack| {
-                for ib in (0..rows).step_by(MR) {
-                    let mr = (rows - ib).min(MR);
-                    microkernel::pack_a_panel(a, ars, acs, i0 + ib, mr, k, apack);
-                    for kb in (0..k).step_by(kc) {
-                        let kcur = (k - kb).min(kc);
-                        let ap = apack[kb * MR..].as_ptr();
-                        for jt in 0..nt {
-                            let j0 = jt * NR;
-                            let cols = NR.min(n - j0);
-                            let bp = bpack[jt * k * NR + kb * NR..].as_ptr();
-                            if mr == MR && cols == NR {
-                                // SAFETY: the full MR×NR tile at
-                                // `panel[ib*n + j0]` with row stride `n`
-                                // is in bounds; packs are sized `k*MR` /
-                                // `k*NR` past the `kb` offsets; `bp` is
-                                // 64-byte aligned (see above); `kernel`
-                                // came from `tile_kernel()` so the ISA
-                                // is available.
-                                unsafe { kernel(kcur, ap, bp, panel.as_mut_ptr().add(ib * n + j0), n) };
-                            } else {
-                                // Edge tile: stage through a full MR×NR
-                                // buffer (valid C in the live region,
-                                // zeros elsewhere; the packs are zero-
-                                // padded so dead lanes accumulate 0) and
-                                // run the identical kernel — same
-                                // per-element op order as interior tiles.
-                                let mut stage = [0.0f32; MR * NR];
-                                for (r, srow) in stage.chunks_exact_mut(NR).enumerate().take(mr) {
-                                    let co = (ib + r) * n + j0;
-                                    srow[..cols].copy_from_slice(&panel[co..co + cols]);
-                                }
-                                // SAFETY: `stage` is a full MR×NR tile
-                                // with ldc = NR; pack bounds as above.
-                                // (The AVX2 kernel loads B aligned; the
-                                // stage buffer is only ever C.)
-                                unsafe { kernel(kcur, ap, bp, stage.as_mut_ptr(), NR) };
-                                for (r, srow) in stage.chunks_exact(NR).enumerate().take(mr) {
-                                    let co = (ib + r) * n + j0;
-                                    panel[co..co + cols].copy_from_slice(&srow[..cols]);
-                                }
-                            }
-                        }
-                    }
-                }
-            });
-        });
+        gemm_compute_packed_b(
+            PanelsA::Strided {
+                src: a,
+                rs: ars,
+                cs: acs,
+            },
+            bpack,
+            c,
+            m,
+            k,
+            n,
+            accumulate,
+            kc,
+            BLOCK,
+        );
     });
 }
 

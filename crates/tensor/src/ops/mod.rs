@@ -4,6 +4,7 @@ pub mod conv;
 pub mod elementwise;
 pub mod matmul;
 pub(crate) mod microkernel;
+pub mod plan;
 pub mod pool;
 pub mod reduce;
 
