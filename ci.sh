@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints (warnings are errors), and the full
-# workspace test suite. Run before every push.
+# Local CI gate: formatting, lints (warnings are errors), the full
+# workspace test suite, and the lab-orchestrated experiment gates.
+# Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,31 +13,6 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo test"
 cargo test -q --workspace --offline
-
-echo "==> kernel_bench --smoke (ISA A/B digest + plan-cache gate)"
-# Tiny shapes; the binary asserts its own CSV schema, that the serving
-# sweep's warm path repacks zero plan panels after warmup (cold vs warm
-# is checked in-process: the first pass packs, the timed passes must
-# not), and that planned logits are bit-identical to the unplanned
-# baseline. Run twice — once forced onto the portable scalar kernels,
-# once auto-dispatched — and assert both the kernel result digest and
-# the planned-path logits digest are bit-identical, pinning the
-# cross-ISA determinism guarantee for the direct AND cached-plan paths.
-scalar_dir="$(mktemp -d)"
-auto_dir="$(mktemp -d)"
-MEDSPLIT_RESULTS_DIR="$scalar_dir" MEDSPLIT_ISA=scalar \
-    cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
-MEDSPLIT_RESULTS_DIR="$auto_dir" MEDSPLIT_ISA=auto \
-    cargo run -q --release --offline -p medsplit-bench --bin kernel_bench -- --smoke
-for digest in kernel_digest plan_digest; do
-    if ! cmp -s "$scalar_dir/$digest.txt" "$auto_dir/$digest.txt"; then
-        echo "ci.sh: $digest diverged between MEDSPLIT_ISA=scalar and auto:" >&2
-        echo "  scalar: $(cat "$scalar_dir/$digest.txt")" >&2
-        echo "  auto:   $(cat "$auto_dir/$digest.txt")" >&2
-        exit 1
-    fi
-    echo "    $digest identical across ISAs: $(cat "$auto_dir/$digest.txt")"
-done
 
 echo "==> miri (unsafe microkernel + simd + scratch modules)"
 # Miri (or cargo-careful as a fallback) over the unsafe kernel modules'
@@ -51,26 +27,43 @@ else
     echo "    (skipped: neither cargo-miri nor cargo-careful is installed)"
 fi
 
-echo "==> trace_report --smoke"
-# Traced tiny split-training run: dumps a JSONL trace, re-loads it, and
-# asserts the expected span names, non-zero per-kind wire counters, and
-# per-round phase shares summing to ~100%.
-MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
-    cargo run -q --release --offline -p medsplit-bench --bin trace_report -- --smoke
+echo "==> lab ci --smoke (manifest-declared experiment gates)"
+# The lab replaces the old hand-written smoke stanzas: every
+# experiments/*.lab.toml with `ci = true` runs here.
+#
+#   kernels_ab.lab.toml  — the scalar-vs-auto ISA A/B, declared as an
+#                          `invariant_across = ["isa"]` gate on both the
+#                          kernel digest and the plan-cache serving
+#                          digest (was the mktemp/cmp stanza).
+#   smoke.lab.toml       — the split-training matrix (fault × codec ×
+#                          threads) gated against baselines/smoke.json,
+#                          with thread-invariance declared on accuracy,
+#                          bytes, messages, and makespan.
+#   bins_smoke.lab.toml  — trace_report / resilience_bench / fleet_bench
+#                          smokes (each still runs its own in-process
+#                          asserts) pinned against baselines/bins_smoke.json.
+#
+# `lab ci` additionally executes every manifest twice and fails unless
+# the metrics digests are bit-identical — the determinism witness.
+cargo run -q --release --offline -p medsplit-bench --bin lab -- ci --smoke
 
-echo "==> resilience_bench --smoke (chaos gate)"
-# Fixed-seed tiny MLP under injected faults: asserts training completes
-# under 10% loss within quorum, a crash-rejoin window degrades exactly
-# its rounds, and a faulty run replays bit-identically from its seed.
-MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
-    cargo run -q --release --offline -p medsplit-bench --bin resilience_bench -- --smoke
-
-echo "==> fleet_bench --smoke (sharded serving gate)"
-# Replica-count sweep over the fleet: the binary itself asserts the
-# completed-logits digest is bit-identical across 1/2/4 replicas, so a
-# green run pins the "sharding never changes results" guarantee.
-MEDSPLIT_RESULTS_DIR="$(mktemp -d)" \
-    cargo run -q --release --offline -p medsplit-bench --bin fleet_bench -- --smoke
+echo "==> lab gate negative test (a perturbed baseline must fail)"
+# The regression gate is only trustworthy if it actually trips: perturb
+# one byte-count in the committed baseline and assert `lab gate` exits
+# nonzero against it.
+perturbed="$(mktemp)"
+sed 's/total_bytes": 48880/total_bytes": 48881/' baselines/smoke.json > "$perturbed"
+if cmp -s baselines/smoke.json "$perturbed"; then
+    echo "ci.sh: perturbation was a no-op — update the sed pattern" >&2
+    exit 1
+fi
+if cargo run -q --release --offline -p medsplit-bench --bin lab -- \
+    gate experiments/smoke.lab.toml --baseline "$perturbed" >/dev/null 2>&1; then
+    echo "ci.sh: lab gate passed against a perturbed baseline" >&2
+    exit 1
+fi
+rm -f "$perturbed"
+echo "    perturbed baseline correctly rejected"
 
 echo "==> fleet drain/rejoin acceptance (chaos gate)"
 # The 4-replica crash + rejoin scenario: one replica dies mid-load,

@@ -1,27 +1,7 @@
-//! Regenerates Fig. 5: the split-point sweep — per-round communication
-//! and privacy leakage (distance correlation, linear-attacker R²) as the
-//! cut moves deeper into the network.
-//!
-//! Usage:
-//!   fig5 [--quick]
-
-use medsplit_bench::experiments::{fig5_run, fig5_table, vgg_lite_cuts, Scale};
-use medsplit_bench::report::{arg_present, write_result};
+//! Thin shim over [`medsplit_bench::bins::fig5`] — see that module for
+//! the experiment's documentation.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = if arg_present(&args, "--quick") {
-        Scale::quick()
-    } else {
-        Scale::full()
-    };
-    // Leakage probing does not need long training; cap the rounds.
-    scale.rounds = scale.rounds.min(100);
-    let cuts = vgg_lite_cuts();
-    eprintln!("[fig5] sweeping cuts {cuts:?} ({scale:?})...");
-    let points = fig5_run(scale, &cuts, 42).expect("fig5 failed");
-    let table = fig5_table(&points);
-    println!("{table}");
-    let path = write_result("fig5.csv", &table.to_csv()).expect("write results");
-    eprintln!("[fig5] wrote {}", path.display());
+    medsplit_bench::bins::fig5::run(&args);
 }

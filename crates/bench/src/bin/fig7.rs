@@ -1,25 +1,7 @@
-//! Regenerates Fig. 7: the activation-noise privacy defence — accuracy vs
-//! leakage as Gaussian noise is added to every transmitted activation.
-//!
-//! Usage:
-//!   fig7 [--quick]
-
-use medsplit_bench::experiments::{fig7_run, fig7_table, Scale};
-use medsplit_bench::report::{arg_present, write_result};
+//! Thin shim over [`medsplit_bench::bins::fig7`] — see that module for
+//! the experiment's documentation.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = if arg_present(&args, "--quick") {
-        Scale::quick()
-    } else {
-        Scale::full()
-    };
-    scale.rounds = scale.rounds.min(150);
-    let sigmas = [0.0f32, 0.5, 1.0, 2.0, 4.0];
-    eprintln!("[fig7] sweeping activation noise {sigmas:?} ({scale:?})...");
-    let points = fig7_run(scale, &sigmas, 42).expect("fig7 failed");
-    let table = fig7_table(&points);
-    println!("{table}");
-    let path = write_result("fig7.csv", &table.to_csv()).expect("write results");
-    eprintln!("[fig7] wrote {}", path.display());
+    medsplit_bench::bins::fig7::run(&args);
 }

@@ -1,648 +1,7 @@
-//! Kernel benchmark harness for the parallel packed compute backend.
-//!
-//! Sweeps GEMM and convolution shapes across worker-pool sizes and
-//! reports throughput (GFLOP/s), speedup versus one thread, speedup
-//! versus the seed (naive, branchy) kernel, scratch-arena heap
-//! allocations per step, and — the headline for the SIMD microkernels —
-//! GFLOPS versus the portable scalar reference path
-//! (`gflops_vs_scalar`): every shape is measured once more under
-//! `MEDSPLIT_ISA=scalar` semantics at one thread, and each row reports
-//! its throughput relative to that baseline.
-//!
-//! A small-batch *serving sweep* (`dense_serve` / `conv_serve` rows at
-//! batch 1/2/4/8) drives the plan-cache path — layers in `Mode::Eval`
-//! with prepacked weight panels — against the unplanned per-call packing
-//! path. Its `repacks_per_step` column counts plan panel packs inside
-//! the timed region; the binary asserts it is exactly 0.0 after warmup
-//! (eval/serve never repacks), that planned logits are bit-identical to
-//! the unplanned baseline, and that the training path repacks at most
-//! once per orientation per optimizer step.
-//!
-//! Outputs:
-//!   - `bench_results/kernel_bench.csv` (or `$MEDSPLIT_RESULTS_DIR`),
-//!   - `BENCH_kernels.json` in the current directory (repo root in CI),
-//!     with the dispatched ISA and the autotuner's recorded blocking
-//!     picks,
-//!   - `bench_results/kernel_digest.txt`: an FNV-1a digest of a fixed
-//!     deterministic kernel workload. CI runs the smoke bench twice —
-//!     `MEDSPLIT_ISA=scalar` and auto-detected — and asserts the digests
-//!     match, pinning the cross-ISA bit-identity guarantee end to end,
-//!   - `bench_results/plan_digest.txt`: the same guarantee for the
-//!     planned (cached-panel) path — an FNV-1a digest of every serving
-//!     sweep logit, also compared across ISAs by CI.
-//!
-//! Usage:
-//!   kernel_bench [--smoke] [--threads 1,2,4] [--reps N]
-//!
-//! `--smoke` runs tiny shapes with one repetition and asserts the CSV
-//! schema, so CI can gate on the harness itself staying healthy.
-
-use std::fmt::Write as _;
-use std::sync::Mutex;
-use std::time::Instant;
-
-use medsplit_bench::report::{arg_present, arg_value, write_result, TextTable};
-use medsplit_nn::{Conv2d, Dense, Layer, Mode, Optimizer, Sgd};
-use medsplit_tensor::ops::conv::{conv2d_forward, Conv2dSpec};
-use medsplit_tensor::ops::plan;
-use medsplit_tensor::{init::rng_from_seed, pool, scratch, simd, Tensor};
-
-const CSV_HEADER: &str = "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,\
-                          speedup_vs_seed,gflops_vs_scalar,scratch_allocs_per_step,\
-                          repacks_per_step";
-
-/// The seed repository's GEMM kernel, kept verbatim as the baseline: a
-/// cache-blocked triple loop with the `aval == 0.0` skip branch the
-/// packed backend removed. Single-threaded by construction.
-fn seed_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    const BLOCK: usize = 64;
-    let mut c = vec![0.0f32; m * n];
-    for ib in (0..m).step_by(BLOCK) {
-        let imax = (ib + BLOCK).min(m);
-        for kb in (0..k).step_by(BLOCK) {
-            let kmax = (kb + BLOCK).min(k);
-            for i in ib..imax {
-                let crow = &mut c[i * n..(i + 1) * n];
-                for p in kb..kmax {
-                    let aval = a[i * k + p];
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..p * n + n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += aval * bv;
-                    }
-                }
-            }
-        }
-    }
-    c
-}
-
-struct Row {
-    kernel: &'static str,
-    shape: String,
-    threads: usize,
-    reps: usize,
-    best_ms: f64,
-    gflops: f64,
-    speedup_vs_1t: f64,
-    speedup_vs_seed: f64,
-    gflops_vs_scalar: f64,
-    scratch_allocs_per_step: f64,
-    repacks_per_step: f64,
-}
-
-/// Times `body` for `reps` repetitions and returns the best wall time in
-/// seconds, the scratch-arena allocation growth per repetition, and the
-/// plan panel packs per repetition (warm-path repacks).
-fn time_best(reps: usize, body: impl Fn() + Sync) -> (f64, f64, f64) {
-    // Warm up on the caller AND every pool worker so no worker's
-    // thread-local scratch arena grows inside the timed region — jobs go
-    // to whichever workers win the queue race, so a single plain call
-    // cannot cover them all. The warmup also builds any plan-cache
-    // panels, so the timed region observes steady-state packing.
-    pool::warmup(&body);
-    let allocs_before = scratch::stats().allocations;
-    let packs_before = plan::stats().packs;
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        body();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    let allocs = scratch::stats().allocations - allocs_before;
-    let packs = plan::stats().packs - packs_before;
-    (best, allocs as f64 / reps as f64, packs as f64 / reps as f64)
-}
-
-/// Measures `body` once under the portable scalar ISA at one thread and
-/// returns the best wall time; restores the previously active ISA.
-fn scalar_baseline(reps: usize, body: impl Fn() + Sync) -> f64 {
-    let active = simd::active_isa();
-    assert!(simd::set_isa(simd::Isa::Scalar));
-    pool::set_num_threads(1);
-    let (best_s, _, _) = time_best(reps, body);
-    assert!(simd::set_isa(active));
-    best_s
-}
-
-fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows: &mut Vec<Row>) {
-    let mut rng = rng_from_seed(7);
-    let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
-    let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
-    let flops = 2.0 * m as f64 * k as f64 * n as f64;
-
-    let (seed_s, _, _) = time_best(reps, || {
-        std::hint::black_box(seed_gemm(a.as_slice(), b.as_slice(), m, k, n));
-    });
-    // The scalar reference path is deliberately slow (libm-fused); a
-    // couple of repetitions suffice for a stable best-of.
-    let scalar_s = scalar_baseline(reps.min(2), || {
-        std::hint::black_box(a.matmul(&b).expect("gemm"));
-    });
-    let scalar_gflops = flops / scalar_s / 1e9;
-
-    let mut one_thread_s = f64::NAN;
-    for &t in threads {
-        pool::set_num_threads(t);
-        let (best_s, allocs, repacks) = time_best(reps, || {
-            std::hint::black_box(a.matmul(&b).expect("gemm"));
-        });
-        if t == 1 {
-            one_thread_s = best_s;
-        }
-        rows.push(Row {
-            kernel: "gemm",
-            shape: format!("{m}x{k}x{n}"),
-            threads: t,
-            reps,
-            best_ms: best_s * 1e3,
-            gflops: flops / best_s / 1e9,
-            speedup_vs_1t: one_thread_s / best_s,
-            speedup_vs_seed: seed_s / best_s,
-            gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
-            scratch_allocs_per_step: allocs,
-            repacks_per_step: repacks,
-        });
-    }
-    pool::set_num_threads(1);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn bench_conv(
-    label: &'static str,
-    n: usize,
-    c: usize,
-    hw: usize,
-    o: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    threads: &[usize],
-    reps: usize,
-    rows: &mut Vec<Row>,
-) {
-    let mut rng = rng_from_seed(11);
-    let input = Tensor::rand_uniform([n, c, hw, hw], -1.0, 1.0, &mut rng);
-    let weight = Tensor::rand_uniform([o, c, kernel, kernel], -0.5, 0.5, &mut rng);
-    let bias = Tensor::rand_uniform([o], -0.1, 0.1, &mut rng);
-    let spec = Conv2dSpec::square(kernel, stride, padding);
-    let (oh, ow) = spec.output_hw(hw, hw).expect("conv shape");
-    let flops = 2.0 * (n * o * oh * ow * c * kernel * kernel) as f64;
-
-    let scalar_s = scalar_baseline(reps.min(2), || {
-        std::hint::black_box(conv2d_forward(&input, &weight, Some(&bias), spec).expect("conv"));
-    });
-    let scalar_gflops = flops / scalar_s / 1e9;
-
-    let mut one_thread_s = f64::NAN;
-    for &t in threads {
-        pool::set_num_threads(t);
-        let (best_s, allocs, repacks) = time_best(reps, || {
-            std::hint::black_box(conv2d_forward(&input, &weight, Some(&bias), spec).expect("conv"));
-        });
-        if t == 1 {
-            one_thread_s = best_s;
-        }
-        rows.push(Row {
-            kernel: label,
-            shape: format!("{n}x{c}x{hw}x{hw}->k{kernel}s{stride}p{padding}o{o}"),
-            threads: t,
-            reps,
-            best_ms: best_s * 1e3,
-            gflops: flops / best_s / 1e9,
-            speedup_vs_1t: one_thread_s / best_s,
-            // No seed-kernel counterpart: conv was always im2col+GEMM;
-            // the seed comparison is carried by the gemm rows.
-            speedup_vs_seed: f64::NAN,
-            gflops_vs_scalar: (flops / best_s / 1e9) / scalar_gflops,
-            scratch_allocs_per_step: allocs,
-            repacks_per_step: repacks,
-        });
-    }
-    pool::set_num_threads(1);
-}
-
-/// Small-batch serving sweep: `Dense` and `Conv2d` layers in `Mode::Eval`
-/// at batch 1/2/4/8, driven through their cached plans, against the
-/// unplanned per-call packing path.
-///
-/// For serving rows the `speedup_vs_seed` column reports planned vs
-/// *unplanned* (the per-call path is the "seed" the plan cache
-/// replaces). Asserts, per shape: planned logits are bit-identical to
-/// the unplanned baseline, and the warm path packs zero panels
-/// (`repacks_per_step == 0.0` — eval never repacks after warmup).
-///
-/// Returns an FNV-1a digest over every planned logit, written to
-/// `plan_digest.txt` for the CI cross-ISA comparison.
-fn bench_serving(reps: usize, rows: &mut Vec<Row>) -> u64 {
-    const BATCHES: [usize; 4] = [1, 2, 4, 8];
-    pool::set_num_threads(1);
-    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
-
-    // Dense serving shapes: split-model classifier heads (in -> out).
-    for &(inf, outf) in &[(256usize, 256usize), (784usize, 128usize)] {
-        let mut rng = rng_from_seed(23);
-        let w = Tensor::rand_uniform([outf, inf], -0.5, 0.5, &mut rng);
-        let b = Tensor::rand_uniform([outf], -0.1, 0.1, &mut rng);
-        // `Layer::forward` needs `&mut self` (it may build the plan);
-        // `time_best` bodies are `Fn + Sync`, so serialize via a mutex.
-        let layer = Mutex::new(Dense::from_parts(w.clone(), b.clone()).expect("dense layer"));
-        for &batch in &BATCHES {
-            let x = Tensor::rand_uniform([batch, inf], -1.0, 1.0, &mut rng);
-            let flops = 2.0 * (batch * inf * outf) as f64;
-            let direct = x.matmul_nt(&w).expect("direct gemm").try_add(&b).expect("bias");
-            let (direct_s, _, _) = time_best(reps, || {
-                std::hint::black_box(x.matmul_nt(&w).expect("direct gemm").try_add(&b).expect("bias"));
-            });
-            let planned = layer
-                .lock()
-                .expect("dense lock")
-                .forward(&x, Mode::Eval)
-                .expect("planned dense");
-            assert_eq!(
-                planned.as_slice(),
-                direct.as_slice(),
-                "planned dense logits diverged from the unplanned path at b{batch}x{inf}->{outf}"
-            );
-            digest = fnv1a_fold(digest, planned.as_slice());
-            let (best_s, allocs, repacks) = time_best(reps, || {
-                let mut l = layer.lock().expect("dense lock");
-                std::hint::black_box(l.forward(&x, Mode::Eval).expect("planned dense"));
-            });
-            assert_eq!(
-                repacks, 0.0,
-                "dense serve repacked panels after warmup at b{batch}x{inf}->{outf}"
-            );
-            rows.push(Row {
-                kernel: "dense_serve",
-                shape: format!("b{batch}x{inf}->{outf}"),
-                threads: 1,
-                reps,
-                best_ms: best_s * 1e3,
-                gflops: flops / best_s / 1e9,
-                speedup_vs_1t: 1.0,
-                speedup_vs_seed: direct_s / best_s,
-                gflops_vs_scalar: f64::NAN,
-                scratch_allocs_per_step: allocs,
-                repacks_per_step: repacks,
-            });
-        }
-    }
-
-    // Conv serving shape: an early-stage feature extractor block.
-    let spec = Conv2dSpec::square(3, 1, 1);
-    let (c, hw, o) = (8usize, 16usize, 16usize);
-    let mut rng = rng_from_seed(29);
-    let w = Tensor::rand_uniform([o, c, 3, 3], -0.5, 0.5, &mut rng);
-    let b = Tensor::rand_uniform([o], -0.1, 0.1, &mut rng);
-    let layer = Mutex::new(Conv2d::from_parts(w.clone(), b.clone(), spec).expect("conv layer"));
-    for &batch in &BATCHES {
-        let x = Tensor::rand_uniform([batch, c, hw, hw], -1.0, 1.0, &mut rng);
-        let (oh, ow) = spec.output_hw(hw, hw).expect("conv shape");
-        let flops = 2.0 * (batch * o * oh * ow * c * 9) as f64;
-        let direct = conv2d_forward(&x, &w, Some(&b), spec).expect("direct conv");
-        let (direct_s, _, _) = time_best(reps, || {
-            std::hint::black_box(conv2d_forward(&x, &w, Some(&b), spec).expect("direct conv"));
-        });
-        let planned = layer
-            .lock()
-            .expect("conv lock")
-            .forward(&x, Mode::Eval)
-            .expect("planned conv");
-        assert_eq!(
-            planned.as_slice(),
-            direct.as_slice(),
-            "planned conv logits diverged from the unplanned path at b{batch}x{c}x{hw}x{hw}"
-        );
-        digest = fnv1a_fold(digest, planned.as_slice());
-        let (best_s, allocs, repacks) = time_best(reps, || {
-            let mut l = layer.lock().expect("conv lock");
-            std::hint::black_box(l.forward(&x, Mode::Eval).expect("planned conv"));
-        });
-        assert_eq!(
-            repacks, 0.0,
-            "conv serve repacked panels after warmup at b{batch}x{c}x{hw}x{hw}"
-        );
-        rows.push(Row {
-            kernel: "conv_serve",
-            shape: format!("b{batch}x{c}x{hw}x{hw}->k3s1p1o{o}"),
-            threads: 1,
-            reps,
-            best_ms: best_s * 1e3,
-            gflops: flops / best_s / 1e9,
-            speedup_vs_1t: 1.0,
-            speedup_vs_seed: direct_s / best_s,
-            gflops_vs_scalar: f64::NAN,
-            scratch_allocs_per_step: allocs,
-            repacks_per_step: repacks,
-        });
-    }
-    digest
-}
-
-/// Asserts the training-path packing bound: each optimizer step
-/// invalidates a layer's plan exactly once, and the following
-/// forward+backward rebuilds at most the two panel orientations —
-/// never one pack per call.
-fn assert_training_repack_bound() {
-    pool::set_num_threads(1);
-    let mut rng = rng_from_seed(31);
-    let mut layer = Dense::new(24, 12, &mut rng);
-    let mut opt = Sgd::new(0.01);
-    let x = Tensor::rand_uniform([4, 24], -1.0, 1.0, &mut rng);
-    // Warmup: the first forward misses and packs, the first backward
-    // lazily packs the backward orientation.
-    let y = layer.forward(&x, Mode::Train).expect("train fwd");
-    layer
-        .backward(&Tensor::ones(y.shape().clone()))
-        .expect("train bwd");
-
-    let steps = 5u64;
-    let before = plan::stats();
-    for _ in 0..steps {
-        opt.step_and_zero(&mut layer);
-        let y = layer.forward(&x, Mode::Train).expect("train fwd");
-        layer
-            .backward(&Tensor::ones(y.shape().clone()))
-            .expect("train bwd");
-    }
-    let after = plan::stats();
-    assert_eq!(
-        after.invalidations - before.invalidations,
-        steps,
-        "expected exactly one plan invalidation per optimizer step"
-    );
-    assert!(
-        after.packs - before.packs <= 2 * steps,
-        "training repacked more than both orientations per step: {} packs over {steps} steps",
-        after.packs - before.packs
-    );
-}
-
-/// `NaN` metrics (no baseline for this row kind) render as an empty CSV
-/// field / JSON `null`.
-fn opt_metric(v: f64, csv: bool) -> String {
-    if v.is_nan() {
-        if csv {
-            String::new()
-        } else {
-            "null".into()
-        }
-    } else if csv {
-        format!("{v:.2}")
-    } else {
-        format!("{v:.3}")
-    }
-}
-
-fn to_csv(rows: &[Row]) -> String {
-    let mut csv = String::from(CSV_HEADER);
-    csv.push('\n');
-    for r in rows {
-        let _ = writeln!(
-            csv,
-            "{},{},{},{},{:.3},{:.2},{:.2},{},{},{:.2},{:.2}",
-            r.kernel,
-            r.shape,
-            r.threads,
-            r.reps,
-            r.best_ms,
-            r.gflops,
-            r.speedup_vs_1t,
-            opt_metric(r.speedup_vs_seed, true),
-            opt_metric(r.gflops_vs_scalar, true),
-            r.scratch_allocs_per_step,
-            r.repacks_per_step
-        );
-    }
-    csv
-}
-
-fn to_json(rows: &[Row], host_threads: usize, isa: &str) -> String {
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"kernel_bench\",");
-    let _ = writeln!(json, "  \"isa\": \"{isa}\",");
-    let _ = writeln!(json, "  \"host_available_parallelism\": {host_threads},");
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"best_ms\": {:.4}, \
-             \"gflops\": {:.3}, \"speedup_vs_1t\": {:.3}, \"speedup_vs_seed\": {}, \
-             \"gflops_vs_scalar\": {}, \"scratch_allocs_per_step\": {:.2}, \
-             \"repacks_per_step\": {:.2}}}{}",
-            r.kernel,
-            r.shape,
-            r.threads,
-            r.best_ms,
-            r.gflops,
-            r.speedup_vs_1t,
-            opt_metric(r.speedup_vs_seed, false),
-            opt_metric(r.gflops_vs_scalar, false),
-            r.scratch_allocs_per_step,
-            r.repacks_per_step,
-            comma
-        );
-    }
-    json.push_str("  ],\n");
-    // The autotuner's per-shape blocking picks, so the committed bench
-    // numbers are self-describing about how each shape was executed.
-    let _ = writeln!(json, "  \"autotuner_picks\": [");
-    let picks = plan::recorded_picks();
-    for (i, (key, b)) in picks.iter().enumerate() {
-        let comma = if i + 1 == picks.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"pick\": \"{key}\", \"mr\": {}, \"nr\": {}, \"kc\": {}, \"nc\": {}, \
-             \"row_block\": {}}}{comma}",
-            b.mr, b.nr, b.kc, b.nc, b.row_block
-        );
-    }
-    json.push_str("  ]\n}\n");
-    json
-}
-
-/// FNV-1a over a stream of `f32` bit patterns (little-endian).
-fn fnv1a_fold(hash: u64, vals: &[f32]) -> u64 {
-    let mut h = hash;
-    for v in vals {
-        for byte in v.to_bits().to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
-}
-
-/// Runs a fixed deterministic workload through every dispatched kernel
-/// family (all three GEMM variants with edge tiles, conv forward, the
-/// ReLU family, the accumulators) at one thread and digests the result
-/// bits. Identical across `MEDSPLIT_ISA` settings by construction; CI
-/// asserts it.
-fn kernel_digest() -> u64 {
-    pool::set_num_threads(1);
-    let mut rng = rng_from_seed(99);
-    let a = Tensor::rand_uniform([70, 93], -1.0, 1.0, &mut rng);
-    let b = Tensor::rand_uniform([93, 37], -1.0, 1.0, &mut rng);
-    let mut h = 0xcbf2_9ce4_8422_2325; // FNV offset basis
-    h = fnv1a_fold(h, a.matmul(&b).expect("digest gemm").as_slice());
-    let at = a.transpose().expect("digest transpose");
-    h = fnv1a_fold(h, at.matmul_tn(&b).expect("digest gemm_tn").as_slice());
-    let bt = b.transpose().expect("digest transpose");
-    h = fnv1a_fold(h, a.matmul_nt(&bt).expect("digest gemm_nt").as_slice());
-
-    let input = Tensor::rand_uniform([2, 3, 11, 11], -1.0, 1.0, &mut rng);
-    let weight = Tensor::rand_uniform([4, 3, 3, 3], -0.5, 0.5, &mut rng);
-    let conv = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 1, 1)).expect("digest conv");
-    h = fnv1a_fold(h, conv.as_slice());
-
-    let x = Tensor::rand_uniform([999], -2.0, 2.0, &mut rng);
-    let g = Tensor::rand_uniform([999], -1.0, 1.0, &mut rng);
-    h = fnv1a_fold(h, x.relu().as_slice());
-    h = fnv1a_fold(h, x.relu().relu_backward(&g).expect("digest relu_bwd").as_slice());
-    h = fnv1a_fold(h, x.leaky_relu(0.01).as_slice());
-    let mut acc = x.clone();
-    acc.axpy(0.37, &g).expect("digest axpy");
-    acc.add_assign(&g).expect("digest add_assign");
-    acc.scale_inplace(-1.25);
-    h = fnv1a_fold(h, acc.as_slice());
-    h = fnv1a_fold(h, (&x * &g).as_slice());
-    h
-}
-
-fn parse_threads(spec: &str) -> Vec<usize> {
-    spec.split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4"))
-        .collect()
-}
+//! Thin shim over [`medsplit_bench::bins::kernel_bench`] — see that module for
+//! the experiment's documentation.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = arg_present(&args, "--smoke");
-    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let isa = simd::active_isa();
-    let threads = match arg_value(&args, "--threads") {
-        Some(spec) => parse_threads(&spec),
-        None if smoke => vec![1, 2],
-        None => vec![1, 2, 4],
-    };
-    let reps: usize = arg_value(&args, "--reps")
-        .map(|v| v.parse().expect("--reps takes an integer"))
-        .unwrap_or(if smoke { 1 } else { 5 });
-
-    let mut rows = Vec::new();
-    if smoke {
-        bench_gemm(48, 33, 17, &threads, reps, &mut rows);
-        bench_conv("conv2d", 2, 3, 8, 4, 3, 1, 1, &threads, reps, &mut rows);
-    } else {
-        // GEMM shapes: the acceptance shape plus split-model layer shapes
-        // (tall-skinny activations x weights) and a wide-N case that
-        // exercises the shared whole-B pack.
-        bench_gemm(512, 512, 512, &threads, reps, &mut rows);
-        bench_gemm(256, 256, 256, &threads, reps, &mut rows);
-        bench_gemm(128, 784, 256, &threads, reps, &mut rows);
-        bench_gemm(64, 256, 1024, &threads, reps, &mut rows);
-        // Conv shapes drawn from VGG16 / ResNet18 early stages, scaled to
-        // medical-imaging-sized inputs the paper's CNNs use.
-        bench_conv("conv2d", 4, 3, 64, 64, 3, 1, 1, &threads, reps, &mut rows);
-        bench_conv("conv2d", 4, 64, 32, 64, 3, 1, 1, &threads, reps, &mut rows);
-        bench_conv("conv2d", 8, 3, 56, 64, 7, 2, 3, &threads, reps, &mut rows);
-    }
-    // Small-batch serving sweep through the plan cache (asserts zero
-    // warm-path repacks and bit-identical logits), plus the training
-    // repack bound.
-    let plan_digest = bench_serving(reps, &mut rows);
-    assert_training_repack_bound();
-
-    let csv = to_csv(&rows);
-    assert!(
-        csv.lines().next() == Some(CSV_HEADER),
-        "kernel_bench CSV schema drifted"
-    );
-    assert!(rows.len() >= threads.len(), "kernel_bench produced no rows");
-    for line in csv.lines().skip(1) {
-        assert_eq!(
-            line.split(',').count(),
-            CSV_HEADER.split(',').count(),
-            "CSV row arity mismatch: {line}"
-        );
-    }
-
-    let csv_path = write_result("kernel_bench.csv", &csv).expect("write kernel_bench.csv");
-    let json = to_json(&rows, host_threads, isa.name());
-    // Smoke runs keep the JSON next to the CSV so they never clobber the
-    // committed full-sweep numbers at the repo root.
-    let json_path = if smoke {
-        medsplit_bench::report::results_dir().join("BENCH_kernels.json")
-    } else {
-        std::path::PathBuf::from("BENCH_kernels.json")
-    };
-    std::fs::write(&json_path, &json).expect("write BENCH_kernels.json");
-
-    let digest = kernel_digest();
-    let digest_path =
-        write_result("kernel_digest.txt", &format!("{digest:016x}\n")).expect("write kernel_digest.txt");
-    let plan_digest_path =
-        write_result("plan_digest.txt", &format!("{plan_digest:016x}\n")).expect("write plan_digest.txt");
-
-    let mut table = TextTable::new(
-        "kernel_bench (best-of-reps wall time)",
-        &[
-            "kernel",
-            "shape",
-            "threads",
-            "best ms",
-            "GFLOP/s",
-            "vs 1t",
-            "vs seed",
-            "vs scalar",
-            "allocs/step",
-            "repacks/step",
-        ],
-    );
-    for r in &rows {
-        table.row(vec![
-            r.kernel.to_string(),
-            r.shape.clone(),
-            r.threads.to_string(),
-            format!("{:.3}", r.best_ms),
-            format!("{:.2}", r.gflops),
-            format!("{:.2}x", r.speedup_vs_1t),
-            if r.speedup_vs_seed.is_nan() {
-                "-".into()
-            } else {
-                format!("{:.2}x", r.speedup_vs_seed)
-            },
-            if r.gflops_vs_scalar.is_nan() {
-                "-".into()
-            } else {
-                format!("{:.2}x", r.gflops_vs_scalar)
-            },
-            format!("{:.2}", r.scratch_allocs_per_step),
-            format!("{:.2}", r.repacks_per_step),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "isa: {} (set MEDSPLIT_ISA=scalar|avx2|neon to override)",
-        isa.name()
-    );
-    println!("host available_parallelism: {host_threads}");
-    println!(
-        "wrote {}, {}, {} and {}",
-        csv_path.display(),
-        json_path.display(),
-        digest_path.display(),
-        plan_digest_path.display()
-    );
-    if smoke {
-        println!(
-            "smoke OK: {} rows, schema verified, serve repacks 0.0, planned logits match unplanned",
-            rows.len()
-        );
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _ = medsplit_bench::bins::kernel_bench::run(&args);
 }

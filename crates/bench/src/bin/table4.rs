@@ -1,24 +1,7 @@
-//! Regenerates Table 4: the wire-codec ablation — how much bandwidth (and
-//! simulated time) half-precision payloads save, and what they cost in
-//! accuracy.
-//!
-//! Usage:
-//!   table4 [--quick]
-
-use medsplit_bench::experiments::{table4_run, table4_table, Scale};
-use medsplit_bench::report::{arg_present, write_result};
+//! Thin shim over [`medsplit_bench::bins::table4`] — see that module for
+//! the experiment's documentation.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if arg_present(&args, "--quick") {
-        Scale::quick()
-    } else {
-        Scale::full()
-    };
-    eprintln!("[table4] running codec ablation ({scale:?})...");
-    let histories = table4_run(scale, 42).expect("table4 failed");
-    let table = table4_table(&histories);
-    println!("{table}");
-    let path = write_result("table4.csv", &table.to_csv()).expect("write results");
-    eprintln!("[table4] wrote {}", path.display());
+    medsplit_bench::bins::table4::run(&args);
 }

@@ -1,0 +1,23 @@
+//! Library bodies of every experiment binary.
+//!
+//! Each binary under `src/bin/` is a thin shim over a `run(args)` in its
+//! module here, so the `lab` orchestrator can execute any bench
+//! in-process — same telemetry registry, same thread pool, same ISA
+//! dispatch — and capture its outcome struct instead of scraping stdout.
+//! `args` is the raw argument list *without* the program name.
+
+pub mod all;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fleet_bench;
+pub mod kernel_bench;
+pub mod resilience_bench;
+pub mod serve_bench;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod trace_report;

@@ -15,9 +15,25 @@
 //! Every binary accepts `--quick` for a smoke-test scale and writes CSVs
 //! under `bench_results/` (override with `MEDSPLIT_RESULTS_DIR`).
 //! Criterion micro-benchmarks live under `benches/`.
+//!
+//! Each binary is a thin shim over [`bins`], so the `lab` orchestrator
+//! (see `crates/lab` and the `lab` binary here) can run any experiment
+//! in-process and capture structured outcomes; [`labrun`] is the bridge
+//! that maps lab manifest points onto these experiment entry points.
 
 #![warn(missing_docs)]
 
+pub mod bins;
 pub mod experiments;
+pub mod labrun;
 pub mod report;
 pub mod workload;
+
+#[cfg(test)]
+pub(crate) mod testsync {
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate process environment variables
+    /// (`MEDSPLIT_RESULTS_DIR`) so they cannot race each other.
+    pub static ENV: Mutex<()> = Mutex::new(());
+}

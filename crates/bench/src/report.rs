@@ -1,6 +1,8 @@
-//! Plain-text tables and CSV output for the experiment binaries.
+//! Plain-text tables, schema-asserted CSV, and the shared `BENCH_*.json`
+//! envelope for the experiment binaries.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -83,6 +85,144 @@ impl fmt::Display for TextTable {
             writeln!(f, "{}", fmt_row(row))?;
         }
         Ok(())
+    }
+}
+
+/// A CSV emitter with a declared schema: the header is fixed at
+/// construction and every row is asserted to match its arity, so schema
+/// drift dies in the bin that caused it rather than in a downstream
+/// parser. All bench binaries route their CSV output through this (or
+/// through [`TextTable`], which asserts the same invariant per row).
+#[derive(Debug, Clone)]
+pub struct ReportWriter {
+    header: String,
+    columns: usize,
+    lines: Vec<String>,
+}
+
+impl ReportWriter {
+    /// Starts a CSV report with the given comma-separated header.
+    pub fn csv(header: &str) -> Self {
+        let columns = header.split(',').count();
+        ReportWriter {
+            header: header.to_string(),
+            columns,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Builds a report from a [`TextTable`]'s header and rows.
+    pub fn from_table(table: &TextTable) -> Self {
+        let csv = table.to_csv();
+        let mut lines = csv.lines();
+        let mut out = ReportWriter::csv(lines.next().unwrap_or_default());
+        for line in lines {
+            out.line(line);
+        }
+        out
+    }
+
+    /// Appends one row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header arity.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns,
+            "CSV row arity mismatch against header {:?}",
+            self.header
+        );
+        self.lines.push(cells.join(","));
+        self
+    }
+
+    /// Appends one pre-joined CSV line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line's field count does not match the header arity.
+    pub fn line(&mut self, line: &str) -> &mut Self {
+        assert_eq!(
+            line.split(',').count(),
+            self.columns,
+            "CSV line arity mismatch: {line}"
+        );
+        self.lines.push(line.to_string());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the report has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Renders the report as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.clone();
+        out.push('\n');
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the report under the results directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, filename: &str) -> io::Result<PathBuf> {
+        write_result(filename, &self.to_csv())
+    }
+}
+
+/// Version of the committed `BENCH_*.json` schema (v2 added the
+/// `schema_version` / `host` / `generated_by` / `generated_utc`
+/// envelope).
+pub const BENCH_JSON_SCHEMA_VERSION: u32 = 2;
+
+/// The lab run id this process is executing under, or `"standalone"`
+/// when invoked directly rather than through `lab run`.
+pub fn lab_run_id() -> String {
+    std::env::var("MEDSPLIT_LAB_RUN_ID").unwrap_or_else(|_| "standalone".to_string())
+}
+
+/// Renders the shared `BENCH_*.json` envelope: schema version, bench
+/// name, provenance (lab run id + UTC timestamp), and the host
+/// fingerprint, followed by the bench-specific body fields. Body values
+/// must be pre-rendered JSON (strings quoted, arrays bracketed).
+pub fn bench_json(bench: &str, body: &[(&str, String)]) -> String {
+    let host = medsplit_lab::fingerprint();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": {BENCH_JSON_SCHEMA_VERSION},");
+    let _ = writeln!(json, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(json, "  \"generated_by\": \"{}\",", lab_run_id());
+    let _ = writeln!(json, "  \"generated_utc\": \"{}\",", medsplit_lab::utc_now());
+    let _ = writeln!(json, "  \"host\": {},", host.to_inline_json());
+    for (i, (key, value)) in body.iter().enumerate() {
+        let comma = if i + 1 == body.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{key}\": {value}{comma}");
+    }
+    json.push_str("}\n");
+    json
+}
+
+/// Where a `BENCH_*.json` lands: smoke runs keep it next to the CSVs in
+/// the results dir so they never clobber the committed full-sweep file
+/// at the repo root.
+pub fn bench_json_path(filename: &str, smoke: bool) -> PathBuf {
+    if smoke {
+        results_dir().join(filename)
+    } else {
+        PathBuf::from(filename)
     }
 }
 
@@ -186,7 +326,48 @@ mod tests {
     }
 
     #[test]
+    fn report_writer_schema_assertion() {
+        let mut w = ReportWriter::csv("a,b,c");
+        w.row(&["1".into(), "2".into(), "3".into()]);
+        w.line("4,5,6");
+        assert_eq!(w.rows(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.to_csv(), "a,b,c\n1,2,3\n4,5,6\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn report_writer_rejects_short_row() {
+        ReportWriter::csv("a,b,c").line("1,2");
+    }
+
+    #[test]
+    fn report_writer_from_table() {
+        let mut t = TextTable::new("x", &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        let w = ReportWriter::from_table(&t);
+        assert_eq!(w.to_csv(), "k,v\na,1\n");
+    }
+
+    #[test]
+    fn bench_json_envelope_fields() {
+        let json = bench_json(
+            "demo",
+            &[("isa", "\"scalar\"".to_string()), ("results", "[]".to_string())],
+        );
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"generated_by\": "));
+        assert!(json.contains("\"generated_utc\": "));
+        assert!(json.contains("\"host\": {"));
+        assert!(json.contains("\"isa\": \"scalar\""));
+        // The envelope must be valid JSON end to end.
+        assert!(medsplit_lab::json::parse(&json).is_ok());
+    }
+
+    #[test]
     fn write_result_creates_dir() {
+        let _env = crate::testsync::ENV.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join(format!("medsplit-test-{}", std::process::id()));
         std::env::set_var("MEDSPLIT_RESULTS_DIR", &dir);
         let path = write_result("probe.csv", "a,b\n").unwrap();

@@ -1,0 +1,347 @@
+//! A minimal hand-rolled JSON reader/writer — the subset the lab's
+//! artifacts need (objects, arrays, strings, numbers, booleans, null).
+//!
+//! The workspace is fully offline and zero-dep by policy, so like
+//! `medsplit-telemetry`'s JSONL codec this module implements exactly the
+//! surface the lab uses: parsing baselines and `metrics.json` back in,
+//! and writing canonical (sorted-key, stable-float) documents out so the
+//! same inputs always produce byte-identical artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are sorted — canonical form — on write; parse
+    /// order is not preserved.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+/// Formats a float the canonical way: integral values get a trailing
+/// `.0`-free integer form, everything else uses Rust's shortest
+/// round-trippable representation (deterministic for a given bit
+/// pattern).
+pub fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a value canonically: object keys in sorted order, two-space
+/// indentation, stable float formatting. Byte-identical output for equal
+/// inputs.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_value(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&fmt_num(*n)),
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&"  ".repeat(indent + 1));
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&"  ".repeat(indent + 1));
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\": ");
+                write_value(val, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Parses a JSON document. Returns an error message with a byte offset
+/// on malformed input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(text, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&c) = bytes.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(text, bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(text, bytes, pos)?;
+                map.insert(key, val);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                let Some(&c) = bytes.get(*pos) else {
+                    return Err("unterminated string".into());
+                };
+                match c {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        let Some(&esc) = bytes.get(*pos) else {
+                            return Err("unterminated escape".into());
+                        };
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = text.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                out.push(char::from_u32(code).ok_or(format!("bad codepoint {code}"))?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("unknown escape \\{}", other as char)),
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Consume a full UTF-8 scalar, not just one byte.
+                        let rest = &text[*pos..];
+                        let ch = rest.chars().next().ok_or("invalid UTF-8")?;
+                        out.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        b't' if text[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        b'f' if text[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        b'n' if text[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        _ => {
+            let start = *pos;
+            while *pos < bytes.len() && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            text[start..*pos]
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("malformed number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_canonical_documents() {
+        let mut obj = BTreeMap::new();
+        obj.insert("b".to_string(), Json::Num(2.5));
+        obj.insert("a".to_string(), Json::Str("x\"y".into()));
+        obj.insert(
+            "arr".to_string(),
+            Json::Arr(vec![Json::Num(1.0), Json::Bool(false), Json::Null]),
+        );
+        let doc = Json::Obj(obj);
+        let text = to_string(&doc);
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Canonical: serialising the parse is byte-identical.
+        assert_eq!(to_string(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn fmt_num_is_stable() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(-0.125), "-0.125");
+        assert_eq!(fmt_num(1234567.0), "1234567");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"m": {"k": [1, "two", true]}, "n": -4.5e1}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(-45.0));
+        let inner = v.get("m").and_then(|m| m.get("k")).unwrap();
+        assert_eq!(
+            inner,
+            &Json::Arr(vec![Json::Num(1.0), Json::Str("two".into()), Json::Bool(true)])
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic expansion of a manifest's axes into run points.
+
+use crate::manifest::Axes;
+
+/// One fully resolved cell of the run matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPoint {
+    /// Workload identifier.
+    pub bench: String,
+    /// Model identifier.
+    pub model: String,
+    /// Topology identifier.
+    pub topology: String,
+    /// Fault-plan identifier.
+    pub fault: String,
+    /// Wire codec.
+    pub codec: String,
+    /// Kernel ISA.
+    pub isa: String,
+    /// Worker-pool size.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RunPoint {
+    /// The point's stable key: every axis value in canonical order,
+    /// `/`-separated. Used as the metric-name prefix, the artifact
+    /// subdirectory name, and the baseline key.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}/t{}/s{}",
+            self.bench, self.model, self.topology, self.fault, self.codec, self.isa, self.threads, self.seed
+        )
+    }
+
+    /// The key with the named axes masked to `*` — the grouping key for
+    /// `invariant_across` gates.
+    pub fn masked_key(&self, masked_axes: &[String]) -> String {
+        let mask = |axis: &str, value: String| {
+            if masked_axes.iter().any(|a| a == axis) {
+                "*".to_string()
+            } else {
+                value
+            }
+        };
+        format!(
+            "{}/{}/{}/{}/{}/{}/{}/{}",
+            mask("bench", self.bench.clone()),
+            mask("model", self.model.clone()),
+            mask("topology", self.topology.clone()),
+            mask("fault", self.fault.clone()),
+            mask("codec", self.codec.clone()),
+            mask("isa", self.isa.clone()),
+            mask("threads", format!("t{}", self.threads)),
+            mask("seed", format!("s{}", self.seed)),
+        )
+    }
+
+    /// A filesystem-safe version of [`RunPoint::key`].
+    pub fn dir_name(&self) -> String {
+        self.key().replace('/', "_")
+    }
+}
+
+/// Expands the axes into the full cartesian product, in canonical axis
+/// order (bench outermost, seed innermost). The expansion depends only
+/// on the axis values, never on declaration order, hash state, or time —
+/// two parses of the same manifest expand identically.
+pub fn expand(axes: &Axes) -> Vec<RunPoint> {
+    let mut points = Vec::with_capacity(
+        axes.bench.len()
+            * axes.model.len()
+            * axes.topology.len()
+            * axes.fault.len()
+            * axes.codec.len()
+            * axes.isa.len()
+            * axes.threads.len()
+            * axes.seed.len(),
+    );
+    for bench in &axes.bench {
+        for model in &axes.model {
+            for topology in &axes.topology {
+                for fault in &axes.fault {
+                    for codec in &axes.codec {
+                        for isa in &axes.isa {
+                            for &threads in &axes.threads {
+                                for &seed in &axes.seed {
+                                    points.push(RunPoint {
+                                        bench: bench.clone(),
+                                        model: model.clone(),
+                                        topology: topology.clone(),
+                                        fault: fault.clone(),
+                                        codec: codec.clone(),
+                                        isa: isa.clone(),
+                                        threads,
+                                        seed,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_cartesian_and_ordered() {
+        let axes = Axes {
+            bench: vec!["a".into(), "b".into()],
+            codec: vec!["f32".into(), "f16".into()],
+            threads: vec![1, 2],
+            ..Axes::default()
+        };
+        let points = expand(&axes);
+        assert_eq!(points.len(), 8);
+        // bench is the outermost axis, threads inner than codec.
+        assert_eq!(points[0].key(), "a/mlp/star4/clean/f32/auto/t1/s42");
+        assert_eq!(points[1].key(), "a/mlp/star4/clean/f32/auto/t2/s42");
+        assert_eq!(points[2].key(), "a/mlp/star4/clean/f16/auto/t1/s42");
+        assert_eq!(points[4].key(), "b/mlp/star4/clean/f32/auto/t1/s42");
+    }
+
+    #[test]
+    fn masked_key_groups_ab_pairs() {
+        let axes = Axes {
+            bench: vec!["kernel_smoke".into()],
+            isa: vec!["scalar".into(), "auto".into()],
+            ..Axes::default()
+        };
+        let points = expand(&axes);
+        assert_eq!(points.len(), 2);
+        let mask = vec!["isa".to_string()];
+        assert_eq!(points[0].masked_key(&mask), points[1].masked_key(&mask));
+        assert_ne!(points[0].key(), points[1].key());
+    }
+}
