@@ -42,6 +42,10 @@ echo "==> lab ci --smoke (manifest-declared experiment gates)"
 #   bins_smoke.lab.toml  — trace_report / resilience_bench / fleet_bench
 #                          smokes (each still runs its own in-process
 #                          asserts) pinned against baselines/bins_smoke.json.
+#   hierarchy_chaos.lab.toml — relay-hierarchy training under relay
+#                          crashes and region partitions, gated against
+#                          baselines/hierarchy_chaos.json with the
+#                          failover counters declared thread-invariant.
 #
 # `lab ci` additionally executes every manifest twice and fails unless
 # the metrics digests are bit-identical — the determinism witness.

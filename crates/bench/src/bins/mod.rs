@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fleet_bench;
+pub mod hier_bench;
 pub mod kernel_bench;
 pub mod resilience_bench;
 pub mod serve_bench;

@@ -27,11 +27,11 @@
 use std::path::Path;
 use std::time::Instant;
 
-use medsplit_core::{ResilientTrainer, SplitConfig, WireCodec};
+use medsplit_core::{HierPolicy, HierResilientTrainer, ResilientTrainer, SplitConfig, WireCodec};
 use medsplit_data::{partition, MinibatchPolicy, Partition, SyntheticTabular};
 use medsplit_lab::{BenchRunner, Manifest, MetricValue, PointOutcome, RunPoint};
 use medsplit_nn::{Architecture, LrSchedule, MlpConfig};
-use medsplit_simnet::{ChaosTransport, FaultPlan, MemoryTransport, NodeId, StarTopology};
+use medsplit_simnet::{ChaosTransport, FaultPlan, HierTopology, MemoryTransport, NodeId, StarTopology};
 use medsplit_telemetry::{MetricSnapshot, Trace};
 use medsplit_tensor::{pool, simd};
 
@@ -96,24 +96,71 @@ fn parse_model(name: &str) -> Result<Architecture, String> {
     }
 }
 
-/// `starN` → N platforms.
-fn parse_platforms(topology: &str) -> Result<usize, String> {
-    let n = topology
-        .strip_prefix("star")
-        .and_then(|n| n.parse::<usize>().ok())
-        .ok_or_else(|| format!("unknown topology axis value {topology:?} (expected starN)"))?;
-    if n < 2 {
-        return Err(format!("topology {topology:?} needs at least 2 platforms"));
+/// The shape named by a `topology` axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopologyAxis {
+    /// `starN`: N platforms directly on the server.
+    Star(usize),
+    /// `hierR_P`: R regions of P platforms each, one relay per region.
+    Hier { regions: usize, per_region: usize },
+}
+
+impl TopologyAxis {
+    fn platforms(self) -> usize {
+        match self {
+            TopologyAxis::Star(n) => n,
+            TopologyAxis::Hier { regions, per_region } => regions * per_region,
+        }
     }
-    Ok(n)
+}
+
+/// `starN` → N platforms on a star; `hierR_P` → R regions × P platforms
+/// behind regional relays.
+fn parse_topology(topology: &str) -> Result<TopologyAxis, String> {
+    if let Some(n) = topology.strip_prefix("star") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("unknown topology axis value {topology:?} (expected starN or hierR_P)"))?;
+        if n < 2 {
+            return Err(format!("topology {topology:?} needs at least 2 platforms"));
+        }
+        return Ok(TopologyAxis::Star(n));
+    }
+    if let Some(shape) = topology.strip_prefix("hier") {
+        let (regions, per_region) = shape
+            .split_once('_')
+            .ok_or_else(|| format!("topology {topology:?}: expected hierR_P (regions_platforms)"))?;
+        let regions: usize = regions
+            .parse()
+            .map_err(|_| format!("topology {topology:?}: bad region count"))?;
+        let per_region: usize = per_region
+            .parse()
+            .map_err(|_| format!("topology {topology:?}: bad per-region platform count"))?;
+        if regions == 0 || per_region == 0 {
+            return Err(format!(
+                "topology {topology:?} needs at least one region and platform"
+            ));
+        }
+        if regions * per_region < 2 {
+            return Err(format!("topology {topology:?} needs at least 2 platforms"));
+        }
+        return Ok(TopologyAxis::Hier { regions, per_region });
+    }
+    Err(format!(
+        "unknown topology axis value {topology:?} (expected starN or hierR_P)"
+    ))
 }
 
 /// Fault-plan grammar for the `fault` axis:
 /// `clean`, `dropNN` (NN percent per-message loss), `crash_C_R`
 /// (platform 1 down for rounds `[C, R)`), `straggler` (platform 1 at
-/// half speed). The plan is seeded from the point's seed so fault
-/// schedules replay with the run.
-fn parse_fault(fault: &str, seed: u64) -> Result<FaultPlan, String> {
+/// half speed), `relaycrash_C_R` (relay 1 down for rounds `[C, R)`,
+/// hierarchical topologies with ≥ 2 regions only) and
+/// `partition_G_C_R` (region G cut off from everything outside it for
+/// rounds `[C, R)`, hierarchical topologies only). Malformed or
+/// topology-incompatible tokens are hard errors. The plan is seeded
+/// from the point's seed so fault schedules replay with the run.
+fn parse_fault(fault: &str, seed: u64, topo: TopologyAxis) -> Result<FaultPlan, String> {
     let plan = FaultPlan::new(seed);
     if fault == "clean" {
         return Ok(plan);
@@ -127,19 +174,43 @@ fn parse_fault(fault: &str, seed: u64) -> Result<FaultPlan, String> {
         }
         return Ok(plan.with_drop(pct / 100.0));
     }
-    if let Some(window) = fault.strip_prefix("crash_") {
-        let (crash, recover) = window
-            .split_once('_')
-            .ok_or_else(|| format!("fault {fault:?}: expected crash_C_R"))?;
-        let crash: u64 = crash
-            .parse()
-            .map_err(|_| format!("fault {fault:?}: bad crash round"))?;
-        let recover: u64 = recover
-            .parse()
-            .map_err(|_| format!("fault {fault:?}: bad recover round"))?;
-        if recover <= crash {
-            return Err(format!("fault {fault:?}: recover must follow crash"));
+    if let Some(window) = fault.strip_prefix("relaycrash_") {
+        let TopologyAxis::Hier { regions, .. } = topo else {
+            return Err(format!(
+                "fault {fault:?} requires a hierarchical (hierR_P) topology"
+            ));
+        };
+        if regions < 2 {
+            return Err(format!(
+                "fault {fault:?} crashes relay 1 and needs at least 2 regions"
+            ));
         }
+        let (crash, recover) = parse_round_window(fault, window, "relaycrash_C_R")?;
+        return Ok(plan.crash_relay(1, crash).recover_relay(1, recover));
+    }
+    if let Some(spec) = fault.strip_prefix("partition_") {
+        let TopologyAxis::Hier { regions, per_region } = topo else {
+            return Err(format!(
+                "fault {fault:?} requires a hierarchical (hierR_P) topology"
+            ));
+        };
+        let (region, window) = spec
+            .split_once('_')
+            .ok_or_else(|| format!("fault {fault:?}: expected partition_G_C_R"))?;
+        let region: usize = region
+            .parse()
+            .map_err(|_| format!("fault {fault:?}: bad region index"))?;
+        if region >= regions {
+            return Err(format!(
+                "fault {fault:?}: region {region} out of range for {regions} regions"
+            ));
+        }
+        let (down, up) = parse_round_window(fault, window, "partition_G_C_R")?;
+        let hier = HierTopology::new(regions, per_region);
+        return Ok(plan.partition_region(&hier, region, down, up));
+    }
+    if let Some(window) = fault.strip_prefix("crash_") {
+        let (crash, recover) = parse_round_window(fault, window, "crash_C_R")?;
         return Ok(plan
             .crash(NodeId::Platform(1), crash)
             .recover(NodeId::Platform(1), recover));
@@ -148,6 +219,23 @@ fn parse_fault(fault: &str, seed: u64) -> Result<FaultPlan, String> {
         return Ok(plan.straggler(NodeId::Platform(1), 0.5));
     }
     Err(format!("unknown fault axis value {fault:?}"))
+}
+
+/// Parses the `C_R` tail shared by the windowed fault tokens.
+fn parse_round_window(fault: &str, window: &str, shape: &str) -> Result<(u64, u64), String> {
+    let (start, end) = window
+        .split_once('_')
+        .ok_or_else(|| format!("fault {fault:?}: expected {shape}"))?;
+    let start: u64 = start
+        .parse()
+        .map_err(|_| format!("fault {fault:?}: bad start round"))?;
+    let end: u64 = end
+        .parse()
+        .map_err(|_| format!("fault {fault:?}: bad end round"))?;
+    if end <= start {
+        return Err(format!("fault {fault:?}: the window must end after it starts"));
+    }
+    Ok((start, end))
 }
 
 fn parse_codec(codec: &str) -> Result<WireCodec, String> {
@@ -162,9 +250,10 @@ fn parse_codec(codec: &str) -> Result<WireCodec, String> {
 /// chaos transport, shaped entirely by the point's axes and the
 /// manifest's `[run]` options.
 fn run_split_train(point: &RunPoint, manifest: &Manifest) -> Result<PointOutcome, String> {
-    let platforms = parse_platforms(&point.topology)?;
+    let topo = parse_topology(&point.topology)?;
+    let platforms = topo.platforms();
     let arch = parse_model(&point.model)?;
-    let plan = parse_fault(&point.fault, point.seed)?;
+    let plan = parse_fault(&point.fault, point.seed, topo)?;
     let samples = manifest.run.samples;
     let rounds = manifest.run.rounds;
 
@@ -189,11 +278,34 @@ fn run_split_train(point: &RunPoint, manifest: &Manifest) -> Result<PointOutcome
     // Tolerate the injected faults: any quorum completes the round.
     config.round_policy.min_platforms = 1;
 
-    let chaos = ChaosTransport::new(MemoryTransport::new(StarTopology::new(platforms)), plan);
-    let mut trainer =
-        ResilientTrainer::new(&arch, config, shards, test, &chaos).map_err(|e| format!("trainer: {e}"))?;
-    let history = trainer.run().map_err(|e| format!("training: {e}"))?;
-    let report = trainer.report();
+    // (retries, checksum_rejections, quorum_failures) plus the
+    // hierarchy-only counters, zero on the star path.
+    let (history, resilience, hier_extra) = match topo {
+        TopologyAxis::Star(n) => {
+            let chaos = ChaosTransport::new(MemoryTransport::new(StarTopology::new(n)), plan);
+            let mut trainer = ResilientTrainer::new(&arch, config, shards, test, &chaos)
+                .map_err(|e| format!("trainer: {e}"))?;
+            let history = trainer.run().map_err(|e| format!("training: {e}"))?;
+            (history, trainer.report(), None)
+        }
+        TopologyAxis::Hier { regions, per_region } => {
+            let hier_topo = HierTopology::new(regions, per_region);
+            let chaos = ChaosTransport::new(MemoryTransport::new(hier_topo.clone()), plan);
+            let mut trainer = HierResilientTrainer::new(
+                &arch,
+                config,
+                HierPolicy::default(),
+                hier_topo,
+                shards,
+                test,
+                &chaos,
+            )
+            .map_err(|e| format!("trainer: {e}"))?;
+            let history = trainer.run().map_err(|e| format!("training: {e}"))?;
+            let report = trainer.report().clone();
+            (history, report.base, Some(report))
+        }
+    };
 
     let mut metrics: Vec<(String, MetricValue)> = vec![
         // f32 → f64 is exact, so accuracy still compares bit-for-bit.
@@ -224,16 +336,40 @@ fn run_split_train(point: &RunPoint, manifest: &Manifest) -> Result<PointOutcome
         ),
         // The simulated clock, not wall time — deterministic.
         ("makespan_s".into(), MetricValue::Num(history.stats.makespan_s)),
-        ("retries".into(), MetricValue::Num(report.retries as f64)),
+        ("retries".into(), MetricValue::Num(resilience.retries as f64)),
         (
             "checksum_rejections".into(),
-            MetricValue::Num(report.checksum_rejections as f64),
+            MetricValue::Num(resilience.checksum_rejections as f64),
         ),
         (
             "quorum_failures".into(),
-            MetricValue::Num(report.quorum_failures as f64),
+            MetricValue::Num(resilience.quorum_failures as f64),
         ),
     ];
+    if let Some(hier) = hier_extra {
+        // Routing and batching are protocol-determined, so these digest
+        // alongside the wire-byte metrics.
+        metrics.push(("rehomes".into(), MetricValue::Num(hier.rehomes as f64)));
+        metrics.push((
+            "direct_fallbacks".into(),
+            MetricValue::Num(hier.direct_fallbacks as f64),
+        ));
+        metrics.push((
+            "orphaned_platform_rounds".into(),
+            MetricValue::Num(hier.orphaned_platform_rounds as f64),
+        ));
+        metrics.push((
+            "relay_batches".into(),
+            MetricValue::Num(hier.relay_batches as f64),
+        ));
+        metrics.push((
+            "region_quorum_drops".into(),
+            MetricValue::Num(hier.region_quorum_drops as f64),
+        ));
+        for (g, &bytes) in hier.region_bytes.iter().enumerate() {
+            metrics.push((format!("region{g}_bytes"), MetricValue::Num(bytes as f64)));
+        }
+    }
     let mut timings = Vec::new();
     partition_snapshot(
         &medsplit_telemetry::snapshot_metrics(),
@@ -353,22 +489,65 @@ impl BenchRunner for MedsplitRunner {
 mod tests {
     use super::*;
 
+    const STAR4: TopologyAxis = TopologyAxis::Star(4);
+    const HIER2_2: TopologyAxis = TopologyAxis::Hier {
+        regions: 2,
+        per_region: 2,
+    };
+
     #[test]
     fn fault_grammar_parses_and_rejects() {
-        assert!(parse_fault("clean", 1).is_ok());
-        assert!(parse_fault("drop10", 1).is_ok());
-        assert!(parse_fault("crash_3_6", 1).is_ok());
-        assert!(parse_fault("straggler", 1).is_ok());
-        assert!(parse_fault("drop200", 1).is_err());
-        assert!(parse_fault("crash_6_3", 1).is_err());
-        assert!(parse_fault("gremlins", 1).is_err());
+        assert!(parse_fault("clean", 1, STAR4).is_ok());
+        assert!(parse_fault("drop10", 1, STAR4).is_ok());
+        assert!(parse_fault("crash_3_6", 1, STAR4).is_ok());
+        assert!(parse_fault("straggler", 1, STAR4).is_ok());
+        assert!(parse_fault("drop200", 1, STAR4).is_err());
+        assert!(parse_fault("crash_6_3", 1, STAR4).is_err());
+        assert!(parse_fault("gremlins", 1, STAR4).is_err());
+    }
+
+    #[test]
+    fn relay_fault_tokens_parse_on_hierarchies() {
+        assert!(parse_fault("relaycrash_2_5", 1, HIER2_2).is_ok());
+        assert!(parse_fault("partition_1_2_5", 1, HIER2_2).is_ok());
+        assert!(parse_fault("partition_0_0_1", 1, HIER2_2).is_ok());
+        // Star topologies have no relays or regions: hard errors, not
+        // silently ignored tokens.
+        assert!(parse_fault("relaycrash_2_5", 1, STAR4).is_err());
+        assert!(parse_fault("partition_0_2_5", 1, STAR4).is_err());
+        // A single-region hierarchy has no backup relay to crash into.
+        let hier1_4 = TopologyAxis::Hier {
+            regions: 1,
+            per_region: 4,
+        };
+        assert!(parse_fault("relaycrash_2_5", 1, hier1_4).is_err());
+    }
+
+    #[test]
+    fn malformed_relay_fault_tokens_stay_hard_errors() {
+        assert!(parse_fault("relaycrash_3", 1, HIER2_2).is_err());
+        assert!(parse_fault("relaycrash_a_b", 1, HIER2_2).is_err());
+        assert!(parse_fault("relaycrash_6_3", 1, HIER2_2).is_err());
+        assert!(parse_fault("partition_1_2", 1, HIER2_2).is_err());
+        assert!(parse_fault("partition_x_2_5", 1, HIER2_2).is_err());
+        assert!(parse_fault("partition_1_5_2", 1, HIER2_2).is_err());
+        // Region index beyond the topology's regions.
+        assert!(parse_fault("partition_2_2_5", 1, HIER2_2).is_err());
     }
 
     #[test]
     fn topology_and_codec_axes_parse() {
-        assert_eq!(parse_platforms("star4").unwrap(), 4);
-        assert!(parse_platforms("star1").is_err());
-        assert!(parse_platforms("ring4").is_err());
+        assert_eq!(parse_topology("star4").unwrap(), STAR4);
+        assert!(parse_topology("star1").is_err());
+        assert!(parse_topology("ring4").is_err());
+        assert_eq!(parse_topology("hier2_2").unwrap(), HIER2_2);
+        assert_eq!(HIER2_2.platforms(), 4);
+        assert!(parse_topology("hier4_2").is_ok());
+        assert!(parse_topology("hier2").is_err());
+        assert!(parse_topology("hier0_4").is_err());
+        assert!(parse_topology("hier2_0").is_err());
+        assert!(parse_topology("hier1_1").is_err());
+        assert!(parse_topology("hier2_x").is_err());
         assert_eq!(parse_codec("f16").unwrap(), WireCodec::F16);
         assert!(parse_codec("f64").is_err());
         assert!(parse_isa("auto").is_ok());

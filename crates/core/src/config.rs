@@ -173,6 +173,57 @@ impl Default for RoundPolicy {
     }
 }
 
+/// Policy knobs specific to hierarchical (relay-routed) rounds, layered
+/// on top of [`RoundPolicy`] by the hierarchical trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierPolicy {
+    /// Minimum surviving platforms a region must contribute for its
+    /// activations to enter the round's aggregate. A region that
+    /// delivers fewer (but more than zero) is dropped whole, so a
+    /// partially-partitioned region degrades the round instead of
+    /// contributing a biased sliver of its data.
+    pub region_quorum: usize,
+    /// Simulated seconds a platform pays when it re-homes away from its
+    /// home relay (failure detection plus reconnection handshake),
+    /// charged against the round deadline.
+    pub failover_penalty_s: f64,
+}
+
+impl Default for HierPolicy {
+    fn default() -> Self {
+        HierPolicy {
+            region_quorum: 1,
+            failover_penalty_s: 0.5,
+        }
+    }
+}
+
+impl HierPolicy {
+    /// Checks the policy against the shape of a hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self, per_region: usize) -> std::result::Result<(), String> {
+        if self.region_quorum == 0 {
+            return Err("hier_policy.region_quorum must be at least 1".into());
+        }
+        if self.region_quorum > per_region {
+            return Err(format!(
+                "hier_policy.region_quorum of {} exceeds the {} platforms per region",
+                self.region_quorum, per_region
+            ));
+        }
+        if !(self.failover_penalty_s >= 0.0 && self.failover_penalty_s.is_finite()) {
+            return Err(format!(
+                "hier_policy.failover_penalty_s must be finite and non-negative, got {}",
+                self.failover_penalty_s
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of a split-learning training run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitConfig {
@@ -353,6 +404,26 @@ mod tests {
         let mut c = SplitConfig::default();
         c.round_policy.backoff.factor = 0.5;
         assert!(c.validate().unwrap_err().contains("backoff"));
+    }
+
+    #[test]
+    fn hier_policy_validates_against_region_shape() {
+        assert!(HierPolicy::default().validate(2).is_ok());
+        let p = HierPolicy {
+            region_quorum: 0,
+            ..HierPolicy::default()
+        };
+        assert!(p.validate(2).unwrap_err().contains("region_quorum"));
+        let p = HierPolicy {
+            region_quorum: 3,
+            ..HierPolicy::default()
+        };
+        assert!(p.validate(2).unwrap_err().contains("exceeds"));
+        let p = HierPolicy {
+            failover_penalty_s: f64::NAN,
+            ..HierPolicy::default()
+        };
+        assert!(p.validate(2).unwrap_err().contains("failover_penalty_s"));
     }
 
     #[test]

@@ -48,9 +48,11 @@
 pub mod comm;
 mod config;
 mod error;
+mod hier;
 mod history;
 pub mod messages;
 mod platform;
+pub mod relay;
 mod resilient;
 mod server;
 mod split;
@@ -59,9 +61,11 @@ mod trainer;
 mod ushape;
 
 pub use config::{
-    Backoff, ComputeModel, L1Sync, OptimizerKind, RoundPolicy, Scheduling, SplitConfig, SplitPoint, WireCodec,
+    Backoff, ComputeModel, HierPolicy, L1Sync, OptimizerKind, RoundPolicy, Scheduling, SplitConfig,
+    SplitPoint, WireCodec,
 };
 pub use error::{Result, SplitError};
+pub use hier::{HierReport, HierResilientTrainer};
 pub use history::{RoundRecord, TrainingHistory};
 pub use platform::Platform;
 pub use resilient::{ResilienceReport, ResilientTrainer};

@@ -218,6 +218,56 @@ impl FaultPlan {
         self.recover(NodeId::Replica(replica), tick)
     }
 
+    // ----- relay-level fault plans (hierarchical topologies) -----------------
+
+    /// Schedules a crash of regional relay `relay` at the start of
+    /// `round`. A crashed relay forwards nothing; its platforms must
+    /// re-home to a backup relay or fall back to the server directly.
+    pub fn crash_relay(self, relay: usize, round: u64) -> Self {
+        self.crash(NodeId::Relay(relay), round)
+    }
+
+    /// Schedules a recovery of regional relay `relay` at the start of
+    /// `round`. Re-homed platforms return at the next round boundary.
+    pub fn recover_relay(self, relay: usize, round: u64) -> Self {
+        self.recover(NodeId::Relay(relay), round)
+    }
+
+    /// Partitions region `region` of `topo` from the rest of the world
+    /// from the start of `down_round` until the start of `up_round`:
+    /// every directed edge crossing the region boundary — its relay ↔
+    /// server backbone, its platforms' direct server links, and its
+    /// platforms' cross-region relay links — goes down. Intra-region
+    /// edges (platform ↔ home relay) stay up, so the region keeps
+    /// talking to itself but nobody can reach it.
+    pub fn partition_region(
+        mut self,
+        topo: &crate::topology::HierTopology,
+        region: usize,
+        down_round: u64,
+        up_round: u64,
+    ) -> Self {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let relay = NodeId::Relay(region);
+        edges.push((relay, NodeId::Server));
+        edges.push((NodeId::Server, relay));
+        for pid in topo.region_platforms(region) {
+            let p = NodeId::Platform(pid);
+            edges.push((p, NodeId::Server));
+            edges.push((NodeId::Server, p));
+            for r in 0..topo.regions() {
+                if r != region {
+                    edges.push((p, NodeId::Relay(r)));
+                    edges.push((NodeId::Relay(r), p));
+                }
+            }
+        }
+        for (src, dst) in edges {
+            self = self.flap(src, dst, down_round, up_round);
+        }
+        self
+    }
+
     /// Schedules a dispatch-link flap for one replica: the router →
     /// replica link is down from the start of `down_tick` until the start
     /// of `up_tick` (the replica itself stays up and can still answer
@@ -703,6 +753,51 @@ mod tests {
         .unwrap();
         let got = t.try_recv(NodeId::Replica(1)).unwrap();
         assert_eq!(got.kind, MessageKind::SessionHandoff);
+    }
+
+    #[test]
+    fn relay_fault_plan_crashes_and_recovers_relays() {
+        let plan = FaultPlan::new(12).crash_relay(1, 2).recover_relay(1, 4);
+        let t = ChaosTransport::new(
+            MemoryTransport::new(crate::topology::HierTopology::new(2, 2)),
+            plan,
+        );
+        t.begin_round(1);
+        assert!(!t.is_down(NodeId::Relay(1)));
+        t.begin_round(2);
+        assert!(t.is_down(NodeId::Relay(1)));
+        assert!(matches!(
+            t.send(Envelope::control(NodeId::Relay(1), NodeId::Server, 2)),
+            Err(NetError::PeerDown(_))
+        ));
+        t.begin_round(4);
+        assert!(!t.is_down(NodeId::Relay(1)));
+        t.send(Envelope::control(NodeId::Relay(1), NodeId::Server, 4))
+            .unwrap();
+    }
+
+    #[test]
+    fn region_partition_downs_exactly_the_boundary_edges() {
+        let topo = crate::topology::HierTopology::new(2, 2);
+        let plan = FaultPlan::new(13).partition_region(&topo, 1, 2, 3);
+        let t = ChaosTransport::new(MemoryTransport::new(topo), plan);
+        t.begin_round(2);
+        // Region 1 = platforms 2,3 behind relay 1. Boundary edges down:
+        assert!(t.link_down(NodeId::Relay(1), NodeId::Server));
+        assert!(t.link_down(NodeId::Server, NodeId::Relay(1)));
+        assert!(t.link_down(NodeId::Platform(2), NodeId::Server));
+        assert!(t.link_down(NodeId::Server, NodeId::Platform(3)));
+        assert!(t.link_down(NodeId::Platform(2), NodeId::Relay(0)));
+        assert!(t.link_down(NodeId::Relay(0), NodeId::Platform(3)));
+        // Intra-region and foreign edges stay up.
+        assert!(!t.link_down(NodeId::Platform(2), NodeId::Relay(1)));
+        assert!(!t.link_down(NodeId::Relay(1), NodeId::Platform(3)));
+        assert!(!t.link_down(NodeId::Platform(0), NodeId::Server));
+        assert!(!t.link_down(NodeId::Relay(0), NodeId::Server));
+        // Heals at up_round.
+        t.begin_round(3);
+        assert!(!t.link_down(NodeId::Relay(1), NodeId::Server));
+        assert!(!t.link_down(NodeId::Platform(2), NodeId::Server));
     }
 
     #[test]

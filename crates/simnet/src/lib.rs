@@ -44,5 +44,5 @@ pub use link::LinkSpec;
 pub use message::{payload_checksum, Envelope, FrameError, MessageKind, HEADER_BYTES};
 pub use node::NodeId;
 pub use stats::{NetStats, StatsSnapshot};
-pub use topology::{FleetTopology, StarTopology, Topology};
+pub use topology::{FleetTopology, HierTopology, StarTopology, Topology};
 pub use transport::{recv_timeout_default, MemoryTransport, NetError, Transport};

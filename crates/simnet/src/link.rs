@@ -36,6 +36,16 @@ impl LinkSpec {
         }
     }
 
+    /// A metropolitan link between a hospital and its regional relay:
+    /// 1 Gbit/s, 5 ms — much better than the WAN backbone, worse than a
+    /// datacenter LAN.
+    pub fn metro() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e9,
+            latency_s: 0.005,
+        }
+    }
+
     /// Time in seconds to move `bytes` across the link: latency plus
     /// serialisation delay.
     pub fn transfer_time(&self, bytes: usize) -> f64 {
@@ -77,6 +87,8 @@ mod tests {
         for &bytes in &[0usize, 1_000, 10_000_000] {
             assert!(LinkSpec::lan().transfer_time(bytes) < LinkSpec::wan().transfer_time(bytes));
             assert!(LinkSpec::wan().transfer_time(bytes) < LinkSpec::broadband().transfer_time(bytes));
+            assert!(LinkSpec::lan().transfer_time(bytes) < LinkSpec::metro().transfer_time(bytes));
+            assert!(LinkSpec::metro().transfer_time(bytes) < LinkSpec::wan().transfer_time(bytes));
         }
     }
 

@@ -15,6 +15,11 @@ pub const HEADER_BYTES: usize = 64;
 /// server.
 const REPLICA_CODE_BASE: u64 = 1 << 62;
 
+/// Frame code base for [`NodeId::Relay`]: relay `i` is encoded as
+/// `RELAY_CODE_BASE + i`, below the replica band so decode can
+/// discriminate by range.
+const RELAY_CODE_BASE: u64 = 1 << 61;
+
 /// The semantic type of a message, used for per-kind byte accounting so
 /// the evaluation can report *where* each protocol's bandwidth goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,6 +67,10 @@ pub enum MessageKind {
     /// a draining (or rejoined-towards) replica to its ring successor,
     /// replica → replica.
     SessionHandoff,
+    /// Hierarchical split: a region's smashed-data envelopes concatenated
+    /// into one frame by a relay (platform→server direction) or by the
+    /// server (server→platform direction), relay ↔ server.
+    RelayBatch,
 }
 
 impl MessageKind {
@@ -83,6 +92,7 @@ impl MessageKind {
             MessageKind::InferResponse => "infer_response",
             MessageKind::Control => "control",
             MessageKind::SessionHandoff => "session_handoff",
+            MessageKind::RelayBatch => "relay_batch",
         }
     }
 
@@ -106,6 +116,7 @@ impl MessageKind {
             MessageKind::InferRequest => 12,
             MessageKind::InferResponse => 13,
             MessageKind::SessionHandoff => 14,
+            MessageKind::RelayBatch => 15,
         }
     }
 
@@ -132,6 +143,7 @@ impl MessageKind {
             MessageKind::InferResponse,
             MessageKind::Control,
             MessageKind::SessionHandoff,
+            MessageKind::RelayBatch,
         ]
     }
 }
@@ -227,6 +239,7 @@ impl Envelope {
                 NodeId::Server => u64::MAX,
                 NodeId::Platform(i) => i as u64,
                 NodeId::Replica(i) => REPLICA_CODE_BASE + i as u64,
+                NodeId::Relay(i) => RELAY_CODE_BASE + i as u64,
             }
         }
         let mut out = Vec::with_capacity(45 + self.payload.len());
@@ -258,6 +271,8 @@ impl Envelope {
                 NodeId::Server
             } else if code >= REPLICA_CODE_BASE {
                 NodeId::Replica((code - REPLICA_CODE_BASE) as usize)
+            } else if code >= RELAY_CODE_BASE {
+                NodeId::Relay((code - RELAY_CODE_BASE) as usize)
             } else {
                 NodeId::Platform(code as usize)
             }
@@ -391,6 +406,11 @@ mod tests {
         let decoded = Envelope::decode(&env.encode()).unwrap();
         assert_eq!(decoded.src, NodeId::Replica(5));
         assert_eq!(decoded.dst, NodeId::Replica(0));
+        // Relays survive too, and decode below the replica band.
+        let env = Envelope::control(NodeId::Relay(3), NodeId::Server, 2);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded.src, NodeId::Relay(3));
+        assert_eq!(decoded.dst, NodeId::Server);
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum NodeId {
     /// Server replica `k` (0-based) owning a shard of `L2..Lk` sessions
     /// in a serving fleet.
     Replica(usize),
+    /// Regional relay `k` (0-based) batching smashed data between the
+    /// platforms of its region and the central server in a hierarchical
+    /// topology.
+    Relay(usize),
 }
 
 impl NodeId {
@@ -43,6 +47,19 @@ impl NodeId {
             _ => None,
         }
     }
+
+    /// Whether this node is a regional relay.
+    pub fn is_relay(&self) -> bool {
+        matches!(self, NodeId::Relay(_))
+    }
+
+    /// The relay index, if any.
+    pub fn relay_index(&self) -> Option<usize> {
+        match self {
+            NodeId::Relay(i) => Some(*i),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -51,6 +68,7 @@ impl fmt::Display for NodeId {
             NodeId::Server => write!(f, "server"),
             NodeId::Platform(i) => write!(f, "platform-{i}"),
             NodeId::Replica(i) => write!(f, "replica-{i}"),
+            NodeId::Relay(i) => write!(f, "relay-{i}"),
         }
     }
 }
@@ -73,6 +91,12 @@ mod tests {
         assert_eq!(NodeId::Replica(1).platform_index(), None);
         assert_eq!(NodeId::Replica(4).replica_index(), Some(4));
         assert_eq!(NodeId::Server.replica_index(), None);
+        assert_eq!(NodeId::Relay(1).to_string(), "relay-1");
+        assert!(NodeId::Relay(0).is_relay());
+        assert!(!NodeId::Platform(0).is_relay());
+        assert_eq!(NodeId::Relay(2).relay_index(), Some(2));
+        assert_eq!(NodeId::Platform(2).relay_index(), None);
+        assert_eq!(NodeId::Relay(2).platform_index(), None);
     }
 
     #[test]

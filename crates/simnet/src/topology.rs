@@ -181,6 +181,126 @@ impl Topology for FleetTopology {
     }
 }
 
+/// A hierarchical topology: platforms are grouped into regions, each
+/// region is served by one relay, and relays connect to the central
+/// server over a WAN backbone. Platforms normally talk only to their
+/// home relay over a fast metro link; every platform also keeps slower
+/// escape hatches — a cross-region link to every foreign relay and a
+/// direct link to the server — so a trainer can fail over when its home
+/// relay crashes or its region partitions.
+///
+/// Region `g` owns platforms `g·P .. (g+1)·P` where `P = per_region`;
+/// relay `g` serves region `g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierTopology {
+    regions: usize,
+    per_region: usize,
+    regional: LinkSpec,
+    cross: LinkSpec,
+    backbone: LinkSpec,
+    direct: LinkSpec,
+}
+
+impl HierTopology {
+    /// A hierarchy of `regions × per_region` platforms with metro
+    /// regional links, a WAN relay backbone, and broadband fallbacks
+    /// (cross-region and direct-to-server).
+    pub fn new(regions: usize, per_region: usize) -> Self {
+        HierTopology {
+            regions,
+            per_region,
+            regional: LinkSpec::metro(),
+            cross: LinkSpec::broadband(),
+            backbone: LinkSpec::wan(),
+            direct: LinkSpec::broadband(),
+        }
+    }
+
+    /// Overrides the platform ↔ home-relay link.
+    pub fn with_regional(mut self, link: LinkSpec) -> Self {
+        self.regional = link;
+        self
+    }
+
+    /// Overrides the platform ↔ foreign-relay failover link.
+    pub fn with_cross(mut self, link: LinkSpec) -> Self {
+        self.cross = link;
+        self
+    }
+
+    /// Overrides the relay ↔ server backbone link.
+    pub fn with_backbone(mut self, link: LinkSpec) -> Self {
+        self.backbone = link;
+        self
+    }
+
+    /// Overrides the platform ↔ server direct-fallback link.
+    pub fn with_direct(mut self, link: LinkSpec) -> Self {
+        self.direct = link;
+        self
+    }
+
+    /// Number of regions (= number of relays).
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Platforms per region.
+    pub fn per_region(&self) -> usize {
+        self.per_region
+    }
+
+    /// Total number of platforms.
+    pub fn platforms(&self) -> usize {
+        self.regions * self.per_region
+    }
+
+    /// The region (= home relay index) of platform `pid`.
+    pub fn home_relay(&self, pid: usize) -> usize {
+        debug_assert!(pid < self.platforms());
+        pid / self.per_region
+    }
+
+    /// The platform ids of region `g`, in ascending order.
+    pub fn region_platforms(&self, g: usize) -> std::ops::Range<usize> {
+        g * self.per_region..(g + 1) * self.per_region
+    }
+}
+
+impl Topology for HierTopology {
+    fn nodes(&self) -> Vec<NodeId> {
+        let mut v = vec![NodeId::Server];
+        v.extend((0..self.regions).map(NodeId::Relay));
+        v.extend((0..self.platforms()).map(NodeId::Platform));
+        v
+    }
+
+    fn link(&self, src: NodeId, dst: NodeId) -> Option<LinkSpec> {
+        let n = self.platforms();
+        match (src, dst) {
+            // Platform ↔ relay: metro at home, broadband cross-region.
+            (NodeId::Platform(i), NodeId::Relay(r)) | (NodeId::Relay(r), NodeId::Platform(i))
+                if i < n && r < self.regions =>
+            {
+                Some(if self.home_relay(i) == r {
+                    self.regional
+                } else {
+                    self.cross
+                })
+            }
+            // Relay ↔ server backbone.
+            (NodeId::Relay(r), NodeId::Server) | (NodeId::Server, NodeId::Relay(r)) if r < self.regions => {
+                Some(self.backbone)
+            }
+            // Direct platform ↔ server fallback.
+            (NodeId::Platform(i), NodeId::Server) | (NodeId::Server, NodeId::Platform(i)) if i < n => {
+                Some(self.direct)
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +379,49 @@ mod tests {
             t.link(NodeId::Platform(0), NodeId::Server),
             Some(LinkSpec::broadband())
         );
+    }
+
+    #[test]
+    fn hier_edges() {
+        let t = HierTopology::new(2, 3);
+        assert_eq!(t.regions(), 2);
+        assert_eq!(t.per_region(), 3);
+        assert_eq!(t.platforms(), 6);
+        assert_eq!(t.home_relay(0), 0);
+        assert_eq!(t.home_relay(2), 0);
+        assert_eq!(t.home_relay(3), 1);
+        assert_eq!(t.region_platforms(1).collect::<Vec<_>>(), vec![3, 4, 5]);
+        // Server, then relays, then platforms.
+        let nodes = Topology::nodes(&t);
+        assert_eq!(nodes.len(), 9);
+        assert_eq!(nodes[0], NodeId::Server);
+        assert_eq!(nodes[1], NodeId::Relay(0));
+        assert_eq!(nodes[3], NodeId::Platform(0));
+        // Home links are metro, cross-region links broadband.
+        assert_eq!(
+            t.link(NodeId::Platform(0), NodeId::Relay(0)),
+            Some(LinkSpec::metro())
+        );
+        assert_eq!(
+            t.link(NodeId::Relay(0), NodeId::Platform(0)),
+            Some(LinkSpec::metro())
+        );
+        assert_eq!(
+            t.link(NodeId::Platform(0), NodeId::Relay(1)),
+            Some(LinkSpec::broadband())
+        );
+        // Backbone and direct fallback.
+        assert_eq!(t.link(NodeId::Relay(1), NodeId::Server), Some(LinkSpec::wan()));
+        assert_eq!(t.link(NodeId::Server, NodeId::Relay(0)), Some(LinkSpec::wan()));
+        assert_eq!(
+            t.link(NodeId::Platform(5), NodeId::Server),
+            Some(LinkSpec::broadband())
+        );
+        // No platform↔platform or relay↔relay edges; ranges enforced.
+        assert!(t.link(NodeId::Platform(0), NodeId::Platform(1)).is_none());
+        assert!(t.link(NodeId::Relay(0), NodeId::Relay(1)).is_none());
+        assert!(t.link(NodeId::Platform(6), NodeId::Server).is_none());
+        assert!(t.link(NodeId::Platform(0), NodeId::Relay(2)).is_none());
     }
 
     #[test]

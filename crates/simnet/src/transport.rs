@@ -42,16 +42,41 @@ impl std::error::Error for NetError {}
 /// `MEDSPLIT_RECV_TIMEOUT_S` environment variable (seconds, integer or
 /// fractional) with a 60 s default. One shared, overridable constant
 /// replaces the hard-codes that used to be duplicated per runtime.
+///
+/// # Panics
+///
+/// A set-but-unparsable value is a configuration error, not a request
+/// for the default: this panics naming the bad value rather than
+/// silently training with a timeout the operator did not ask for.
 pub fn recv_timeout_default() -> Duration {
     use std::sync::OnceLock;
     static TIMEOUT: OnceLock<Duration> = OnceLock::new();
-    *TIMEOUT.get_or_init(|| {
-        std::env::var("MEDSPLIT_RECV_TIMEOUT_S")
-            .ok()
-            .and_then(|s| s.trim().parse::<f64>().ok())
-            .filter(|s| s.is_finite() && *s > 0.0)
-            .map_or(Duration::from_secs(60), Duration::from_secs_f64)
+    *TIMEOUT.get_or_init(|| match std::env::var("MEDSPLIT_RECV_TIMEOUT_S") {
+        Err(std::env::VarError::NotPresent) => Duration::from_secs(60),
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("MEDSPLIT_RECV_TIMEOUT_S={raw:?} is not valid unicode")
+        }
+        Ok(raw) => match parse_recv_timeout(&raw) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        },
     })
+}
+
+/// Parses a `MEDSPLIT_RECV_TIMEOUT_S` value. Split out of
+/// [`recv_timeout_default`] so the rejection paths are testable without
+/// tripping the process-wide `OnceLock`.
+fn parse_recv_timeout(raw: &str) -> Result<Duration, String> {
+    let secs: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("MEDSPLIT_RECV_TIMEOUT_S={raw:?} is not a number of seconds"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "MEDSPLIT_RECV_TIMEOUT_S={raw:?} must be a positive finite number of seconds"
+        ));
+    }
+    Ok(Duration::from_secs_f64(secs))
 }
 
 /// A message transport between the nodes of a topology.
@@ -289,6 +314,19 @@ mod tests {
         assert!(a > Duration::ZERO);
         // OnceLock: the value is stable for the life of the process.
         assert_eq!(a, recv_timeout_default());
+    }
+
+    #[test]
+    fn recv_timeout_parse_accepts_numbers_and_names_bad_values() {
+        assert_eq!(parse_recv_timeout("30"), Ok(Duration::from_secs(30)));
+        assert_eq!(parse_recv_timeout(" 0.5 "), Ok(Duration::from_secs_f64(0.5)));
+        for bad in ["", "abc", "10s", "1e999", "nan", "-1", "0", "inf"] {
+            let err = parse_recv_timeout(bad).unwrap_err();
+            assert!(
+                err.contains(&format!("{bad:?}")),
+                "error must name the bad value: {err}"
+            );
+        }
     }
 
     #[test]

@@ -207,6 +207,76 @@ fn acceptance_four_platforms_loss_crash_straggler() {
     }
 }
 
+/// Quorum boundary: with `min_platforms == num_platforms`, losing any
+/// platform fails the round — the crash window becomes quorum failures
+/// with zero participants and no update, and the run still completes.
+#[test]
+fn full_quorum_makes_any_loss_fail_the_round() {
+    let plan = FaultPlan::new(91)
+        .crash(NodeId::Platform(0), 3)
+        .recover(NodeId::Platform(0), 6);
+    let chaos = ChaosTransport::new(MemoryTransport::new(StarTopology::new(4)), plan);
+    let (shards, test) = data(4);
+    let mut cfg = config(10);
+    cfg.round_policy.min_platforms = 4;
+    let mut trainer = ResilientTrainer::new(&arch(), cfg, shards, test, &chaos).unwrap();
+    let history = trainer.run().unwrap();
+
+    assert_eq!(history.records.len(), 10, "the run must complete every round");
+    assert_eq!(
+        trainer.report().quorum_failures,
+        3,
+        "rounds 3..6 miss full quorum"
+    );
+    for r in &history.records {
+        if (3..6).contains(&r.round) {
+            // The three survivors answered, but the round failed quorum:
+            // their work is discarded and no update is applied.
+            assert_eq!(r.participants, 3, "round {}", r.round);
+            assert_eq!(r.mean_loss, 0.0, "failed round {} applies no update", r.round);
+            assert!(r.degraded, "round {}", r.round);
+        } else {
+            assert_eq!(r.participants, 4, "round {}", r.round);
+            assert!(!r.degraded, "round {}", r.round);
+        }
+    }
+    assert!(history.final_accuracy.is_finite());
+}
+
+/// Quorum boundary: total message loss exhausts every platform's
+/// retries every round. The whole run degrades gracefully — all rounds
+/// are quorum failures, nothing panics, and evaluation still works.
+#[test]
+fn retries_exhausted_everywhere_degrades_gracefully() {
+    let chaos = ChaosTransport::new(
+        MemoryTransport::new(StarTopology::new(4)),
+        FaultPlan::new(17).with_drop(1.0),
+    );
+    let (shards, test) = data(4);
+    let mut trainer = ResilientTrainer::new(&arch(), config(5), shards, test, &chaos).unwrap();
+    let history = trainer.run().unwrap();
+
+    assert_eq!(history.records.len(), 5);
+    assert_eq!(
+        trainer.report().quorum_failures,
+        5,
+        "every round must fail quorum"
+    );
+    assert!(
+        trainer.report().retries > 0,
+        "the retry path must have been exercised"
+    );
+    assert!(history.records.iter().all(|r| r.participants == 0 && r.degraded));
+    assert!(
+        history.records.iter().all(|r| r.mean_loss == 0.0),
+        "failed rounds report no loss"
+    );
+    // Weights never updated: accuracy equals the common-init model's.
+    assert!(history.final_accuracy.is_finite());
+    // Bytes were still charged for the doomed sends — loss is not free.
+    assert!(history.stats.total_bytes > 0);
+}
+
 /// Crash–rejoin bookkeeping: the recovered platform resumes from its
 /// checkpoint and contributes again; participants trace the crash window
 /// exactly when no other faults interfere.
