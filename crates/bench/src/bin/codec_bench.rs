@@ -1,0 +1,7 @@
+//! Thin shim over [`medsplit_bench::bins::codec_bench`] — see that
+//! module for the experiment's documentation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    medsplit_bench::bins::codec_bench::run(&args);
+}

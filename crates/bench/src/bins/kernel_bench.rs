@@ -18,6 +18,12 @@
 //! the unplanned baseline, and that the training path repacks at most
 //! once per orientation per optimizer step.
 //!
+//! A *half-width storage sweep* (`gemm_f16` rows) drives the same
+//! planned GEMM with binary16 weight panels (`MEDSPLIT_WEIGHT_PREC=f16`
+//! semantics) against the f32-storage plan; `speedup_vs_seed` there is
+//! the f32-storage/f16-storage time ratio, and the f16 logits fold into
+//! the plan digest so the cross-ISA gate covers both storage precisions.
+//!
 //! Outputs:
 //!   - `bench_results/kernel_bench.csv` (or `$MEDSPLIT_RESULTS_DIR`),
 //!   - `BENCH_kernels.json` in the current directory (repo root in CI),
@@ -47,9 +53,11 @@ use crate::report::{
     arg_present, arg_value, bench_json, bench_json_path, write_result, ReportWriter, TextTable,
 };
 use medsplit_nn::{Conv2d, Dense, Layer, Mode, Optimizer, Sgd};
-use medsplit_tensor::ops::conv::{conv2d_forward, Conv2dSpec};
+use medsplit_tensor::ops::conv::{conv2d_forward, conv2d_forward_planned, Conv2dSpec};
 use medsplit_tensor::ops::plan;
-use medsplit_tensor::{init::rng_from_seed, pool, scratch, simd, Tensor};
+use medsplit_tensor::{
+    init::rng_from_seed, pool, scratch, simd, ConvPlan, GemmPlan, Tensor, WeightPrecision,
+};
 
 const CSV_HEADER: &str = "kernel,shape,threads,reps,best_ms,gflops,speedup_vs_1t,\
                           speedup_vs_seed,gflops_vs_scalar,scratch_allocs_per_step,\
@@ -184,6 +192,65 @@ fn bench_gemm(m: usize, k: usize, n: usize, threads: &[usize], reps: usize, rows
         });
     }
     pool::set_num_threads(1);
+}
+
+/// f16-storage vs f32-storage planned GEMM: the same weight driven
+/// through two `GemmPlan`s that differ only in panel storage precision.
+/// For `gemm_f16` rows the `speedup_vs_seed` column reports f32-storage
+/// plan time over f16-storage plan time (the full-precision plan is the
+/// "seed" the half-width panels replace). Asserts the f16 plan never
+/// repacks after warmup, that its logits are bit-identical to the
+/// unplanned GEMM against the f16-narrowed weight (the single narrowing
+/// happens at pack time; every kernel widens exactly), and folds the
+/// f16 logits into the cross-ISA plan digest.
+fn bench_gemm_f16(m: usize, k: usize, n: usize, reps: usize, rows: &mut Vec<Row>, digest: &mut u64) {
+    pool::set_num_threads(1);
+    let mut rng = rng_from_seed(41);
+    let w = Tensor::rand_uniform([n, k], -0.5, 0.5, &mut rng);
+    let x = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+    let flops = 2.0 * (m * k * n) as f64;
+
+    let p32 = GemmPlan::pack_nt_at(&w, 0, WeightPrecision::F32).expect("f32 plan");
+    let p16 = GemmPlan::pack_nt_at(&w, 0, WeightPrecision::F16).expect("f16 plan");
+
+    let w16: Vec<f32> = w
+        .as_slice()
+        .iter()
+        .map(|&v| medsplit_tensor::half::f16_bits_to_f32(medsplit_tensor::half::f32_to_f16_bits(v)))
+        .collect();
+    let w16 = Tensor::from_vec(w16, [n, k]).expect("narrowed weight");
+    let reference = x.matmul_nt(&w16).expect("narrowed gemm");
+    let planned = p16.matmul_nt(&x).expect("f16 planned gemm");
+    assert_eq!(
+        planned.as_slice(),
+        reference.as_slice(),
+        "f16-storage plan diverged from the unplanned GEMM on narrowed weights at {m}x{k}x{n}"
+    );
+    *digest = fnv1a_fold(*digest, planned.as_slice());
+
+    let (f32_s, _, _) = time_best(reps, || {
+        std::hint::black_box(p32.matmul_nt(&x).expect("f32 planned gemm"));
+    });
+    let (best_s, allocs, repacks) = time_best(reps, || {
+        std::hint::black_box(p16.matmul_nt(&x).expect("f16 planned gemm"));
+    });
+    assert_eq!(
+        repacks, 0.0,
+        "f16-storage plan repacked panels after warmup at {m}x{k}x{n}"
+    );
+    rows.push(Row {
+        kernel: "gemm_f16",
+        shape: format!("{m}x{k}x{n}"),
+        threads: 1,
+        reps,
+        best_ms: best_s * 1e3,
+        gflops: flops / best_s / 1e9,
+        speedup_vs_1t: 1.0,
+        speedup_vs_seed: f32_s / best_s,
+        gflops_vs_scalar: f64::NAN,
+        scratch_allocs_per_step: allocs,
+        repacks_per_step: repacks,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -519,6 +586,17 @@ fn kernel_digest() -> u64 {
     let conv = conv2d_forward(&input, &weight, None, Conv2dSpec::square(3, 1, 1)).expect("digest conv");
     h = fnv1a_fold(h, conv.as_slice());
 
+    // The f16-storage kernel family: GEMM and conv through plans packed
+    // at half precision. Narrowing happens once at pack time and every
+    // kernel widens exactly, so these bits are also ISA-invariant — the
+    // same lab gate that pins the f32 family pins these.
+    let p16 = GemmPlan::pack_nt_at(&bt, 0, WeightPrecision::F16).expect("digest f16 plan");
+    h = fnv1a_fold(h, p16.matmul_nt(&a).expect("digest f16 gemm").as_slice());
+    let mut c16 = ConvPlan::pack_at(&weight, Conv2dSpec::square(3, 1, 1), 0, WeightPrecision::F16)
+        .expect("digest f16 conv plan");
+    let conv16 = conv2d_forward_planned(&input, &mut c16, None).expect("digest f16 conv");
+    h = fnv1a_fold(h, conv16.as_slice());
+
     let x = Tensor::rand_uniform([999], -2.0, 2.0, &mut rng);
     let g = Tensor::rand_uniform([999], -1.0, 1.0, &mut rng);
     h = fnv1a_fold(h, x.relu().as_slice());
@@ -575,7 +653,16 @@ pub fn run(args: &[String]) -> KernelBenchOutcome {
     // Small-batch serving sweep through the plan cache (asserts zero
     // warm-path repacks and bit-identical logits), plus the training
     // repack bound.
-    let plan_digest = bench_serving(reps, &mut rows);
+    let mut plan_digest = bench_serving(reps, &mut rows);
+    // f16-storage vs f32-storage planned GEMM (the `gemm_f16` column);
+    // folds the half-width logits into the same cross-ISA plan digest.
+    if smoke {
+        bench_gemm_f16(48, 33, 17, reps, &mut rows, &mut plan_digest);
+    } else {
+        bench_gemm_f16(256, 256, 256, reps, &mut rows, &mut plan_digest);
+        bench_gemm_f16(128, 784, 256, reps, &mut rows, &mut plan_digest);
+        bench_gemm_f16(64, 256, 1024, reps, &mut rows, &mut plan_digest);
+    }
     assert_training_repack_bound();
 
     let report = to_report(&rows);

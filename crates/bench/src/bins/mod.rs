@@ -7,6 +7,7 @@
 //! `args` is the raw argument list *without* the program name.
 
 pub mod all;
+pub mod codec_bench;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -7,8 +7,10 @@
 //!     each round's wall time (the unattributed remainder is `other`),
 //!   - a per-kernel attribution (gemm/conv time, resolved to rounds via
 //!     span parent links),
-//!   - the metric counters (per-`MessageKind` wire bytes, pool, serve,
-//!     and the `plan.*` plan-cache hit/miss/invalidation traffic),
+//!   - the metric counters (per-`MessageKind` logical `net.bytes.*` and
+//!     on-wire `net.wire_bytes.*` traffic — the pair shows each codec's
+//!     compression directly — plus pool, serve, and the `plan.*`
+//!     plan-cache hit/miss/invalidation traffic),
 //!   - `trace_phases.csv` in `bench_results/` (or `$MEDSPLIT_RESULTS_DIR`).
 //!
 //! Usage:
@@ -247,6 +249,11 @@ fn assert_smoke(trace: &Trace, csv: &str) {
         "net.bytes.logits",
         "net.bytes.logit_grads",
         "net.bytes.cut_grads",
+        // On-wire bytes are tracked per kind next to the logical
+        // (f32-equivalent) bytes; under the default f32 codec the two
+        // families agree, but both must always be present.
+        "net.wire_bytes.activations",
+        "net.wire_bytes.cut_grads",
         "net.msgs.activations",
         // Plan-cache traffic: round 1 builds every layer's plan (misses),
         // each optimizer step afterwards invalidates exactly the touched

@@ -8,6 +8,7 @@
 //! |---------|----------|
 //! | `split_train` | a [`ResilientTrainer`] run shaped by the point's model / topology / fault / codec / threads / seed axes |
 //! | `kernel_smoke` | [`crate::bins::kernel_bench`] `--smoke` (reports the cross-ISA kernel and plan digests) |
+//! | `codec_frontier` | [`crate::bins::codec_bench`] `--smoke` (per-codec accuracy and wire/logical bytes, replay digest) |
 //! | `trace_smoke` | [`crate::bins::trace_report`] `--smoke` |
 //! | `resilience_smoke` | [`crate::bins::resilience_bench`] `--smoke` |
 //! | `fleet_smoke` | [`crate::bins::fleet_bench`] `--smoke` |
@@ -242,7 +243,10 @@ fn parse_codec(codec: &str) -> Result<WireCodec, String> {
     match codec {
         "f32" => Ok(WireCodec::F32),
         "f16" => Ok(WireCodec::F16),
-        other => Err(format!("unknown codec axis value {other:?}")),
+        "int8" => Ok(WireCodec::Int8),
+        other => Err(format!(
+            "unknown codec axis value {other:?} (expected \"f32\", \"f16\", or \"int8\")"
+        )),
     }
 }
 
@@ -426,6 +430,34 @@ impl BenchRunner for MedsplitRunner {
                     ..PointOutcome::default()
                 })
             }
+            "codec_frontier" => {
+                let out = crate::bins::codec_bench::run(&["--smoke".into()]);
+                let mut metrics: Vec<(String, MetricValue)> = vec![
+                    ("rows".into(), MetricValue::Num(out.rows as f64)),
+                    (
+                        "frontier_digest".into(),
+                        MetricValue::Str(format!("{:016x}", out.frontier_digest)),
+                    ),
+                ];
+                // Quantity-first keys so the manifest's `[gate.pct]`
+                // prefix bands can give every point's accuracy one
+                // tolerance while the byte columns stay exact.
+                for (label, acc, wire, logical) in &out.points {
+                    metrics.push((
+                        format!("final_accuracy.{label}"),
+                        MetricValue::Num(f64::from(*acc)),
+                    ));
+                    metrics.push((format!("wire_bytes.{label}"), MetricValue::Num(*wire as f64)));
+                    metrics.push((
+                        format!("logical_bytes.{label}"),
+                        MetricValue::Num(*logical as f64),
+                    ));
+                }
+                Ok(PointOutcome {
+                    metrics,
+                    ..PointOutcome::default()
+                })
+            }
             "trace_smoke" => {
                 let out = crate::bins::trace_report::run(&["--smoke".into()]);
                 Ok(PointOutcome {
@@ -549,7 +581,13 @@ mod tests {
         assert!(parse_topology("hier1_1").is_err());
         assert!(parse_topology("hier2_x").is_err());
         assert_eq!(parse_codec("f16").unwrap(), WireCodec::F16);
-        assert!(parse_codec("f64").is_err());
+        assert_eq!(parse_codec("int8").unwrap(), WireCodec::Int8);
+        // The rejection names every valid axis value, so a manifest typo
+        // is self-explanatory.
+        let err = parse_codec("f64").unwrap_err();
+        for valid in ["\"f32\"", "\"f16\"", "\"int8\""] {
+            assert!(err.contains(valid), "codec error {err:?} missing {valid}");
+        }
         assert!(parse_isa("auto").is_ok());
         assert!(parse_isa("riscv").is_err());
     }

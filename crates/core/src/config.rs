@@ -70,8 +70,11 @@ impl OptimizerKind {
 /// Numeric encoding used for the four protocol tensors on the wire.
 ///
 /// `F16` halves the activation/gradient traffic at a ≤0.1 % relative
-/// rounding error per value — an ablation of the paper's bandwidth goal.
-/// Parameter synchronisation (`L1Sync`) always stays exact.
+/// rounding error per value; `Int8` cuts it to roughly a quarter via
+/// symmetric per-tensor-scale quantisation (absolute error ≤ scale/2 per
+/// value, where scale = absmax/127 travels in the frame header) — both
+/// are ablations of the paper's bandwidth goal (Fig. 4). Parameter
+/// synchronisation (`L1Sync`) always stays exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WireCodec {
     /// Exact 32-bit floats (default).
@@ -79,6 +82,9 @@ pub enum WireCodec {
     F32,
     /// IEEE binary16 payloads: half the bytes, lossy.
     F16,
+    /// Symmetric int8 quantisation with a per-tensor absmax scale in the
+    /// header: about a quarter of the bytes, lossy.
+    Int8,
 }
 
 /// Simple compute-time model: how long forward+backward on one sample

@@ -146,6 +146,7 @@ mod tests {
             final_accuracy: 0.45,
             stats: StatsSnapshot {
                 total_bytes: 400,
+                logical_bytes: 400,
                 messages: 10,
                 by_kind: vec![],
                 msgs_by_kind: vec![],

@@ -14,7 +14,8 @@ pub fn tensor_envelope(src: NodeId, dst: NodeId, round: u64, kind: MessageKind, 
 }
 
 /// Like [`tensor_envelope`] but encoding the payload with the given wire
-/// codec (`F16` halves the data bytes, lossily).
+/// codec (`F16` halves the data bytes, `Int8` quarters them, both
+/// lossily).
 pub fn tensor_envelope_codec(
     src: NodeId,
     dst: NodeId,
@@ -26,6 +27,7 @@ pub fn tensor_envelope_codec(
     let payload = match codec {
         WireCodec::F32 => tensor.to_bytes(),
         WireCodec::F16 => tensor.to_bytes_f16(),
+        WireCodec::Int8 => tensor.to_bytes_i8(),
     };
     Envelope::new(src, dst, round, kind, payload)
 }

@@ -600,6 +600,55 @@ mod tests {
     }
 
     #[test]
+    fn int8_codec_quarters_tensor_traffic_and_still_learns() {
+        use crate::config::WireCodec;
+        let (shards, test) = setup(2);
+        let run = |codec: WireCodec| {
+            let transport = MemoryTransport::new(StarTopology::new(2));
+            let mut cfg = config(40, Scheduling::Aggregate);
+            cfg.codec = codec;
+            let mut trainer =
+                SplitTrainer::new(&arch(), cfg, shards.clone(), test.clone(), &transport).unwrap();
+            trainer.run().unwrap()
+        };
+        let exact = run(WireCodec::F32);
+        let quant = run(WireCodec::Int8);
+        // Payload bytes quarter; headers (64 + shape + scale) stay, so the
+        // total lands between the asymptotic 1/4 and the f16 ratio.
+        assert!(
+            quant.stats.total_bytes < exact.stats.total_bytes / 2,
+            "int8 {} vs f32 {}",
+            quant.stats.total_bytes,
+            exact.stats.total_bytes
+        );
+        assert!(quant.stats.total_bytes > exact.stats.total_bytes / 5);
+        // Per-tensor-scale quantisation keeps the model training.
+        assert!(
+            quant.final_accuracy > exact.final_accuracy - 0.15,
+            "int8 {} vs f32 {}",
+            quant.final_accuracy,
+            exact.final_accuracy
+        );
+    }
+
+    #[test]
+    fn int8_codec_runs_are_bit_identical_on_replay() {
+        use crate::config::WireCodec;
+        let run = || {
+            let (shards, test) = setup(2);
+            let transport = MemoryTransport::new(StarTopology::new(2));
+            let mut cfg = config(10, Scheduling::Aggregate);
+            cfg.codec = WireCodec::Int8;
+            let mut trainer = SplitTrainer::new(&arch(), cfg, shards, test, &transport).unwrap();
+            trainer.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
     fn proportional_minibatch_sizes_applied() {
         let gen = SyntheticTabular::new(3, 8, 0);
         let train = gen.generate(200).unwrap();

@@ -109,6 +109,7 @@ pub fn encode_request(
     let tensor_bytes = match codec {
         WireCodec::F32 => activations.to_bytes(),
         WireCodec::F16 => activations.to_bytes_f16(),
+        WireCodec::Int8 => activations.to_bytes_i8(),
     };
     let mut payload = Vec::with_capacity(REQUEST_PREFIX + tensor_bytes.len());
     payload.put_u64_le(id);
@@ -183,6 +184,7 @@ pub fn encode_routed_request(src: NodeId, dst: NodeId, req: &RoutedRequest, code
     let tensor_bytes = match codec {
         WireCodec::F32 => req.activations.to_bytes(),
         WireCodec::F16 => req.activations.to_bytes_f16(),
+        WireCodec::Int8 => req.activations.to_bytes_i8(),
     };
     let mut payload = Vec::with_capacity(ROUTED_PREFIX + tensor_bytes.len());
     payload.put_u64_le(req.id);
@@ -268,6 +270,7 @@ pub fn encode_response_from(
     let tensor_bytes = logits.map(|t| match codec {
         WireCodec::F32 => t.to_bytes(),
         WireCodec::F16 => t.to_bytes_f16(),
+        WireCodec::Int8 => t.to_bytes_i8(),
     });
     let body_len = tensor_bytes.as_ref().map_or(0, Bytes::len);
     let mut payload = Vec::with_capacity(RESPONSE_PREFIX + body_len);

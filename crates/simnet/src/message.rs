@@ -167,6 +167,54 @@ pub fn payload_checksum(bytes: &[u8]) -> u32 {
     hash
 }
 
+/// Tensor wire-format magics, mirrored from `medsplit_tensor::serialize`
+/// (simnet deliberately does not depend on the tensor crate). Used only
+/// to *recognise* compressed tensor payloads for logical-byte accounting;
+/// (de)serialisation stays in the tensor crate.
+const TENSOR_MAGIC_F32: u32 = 0x4D54_534E;
+const TENSOR_MAGIC_F16: u32 = 0x4D54_5348;
+const TENSOR_MAGIC_I8: u32 = 0x4D54_5351;
+
+/// The number of bytes this payload would occupy under the exact f32
+/// tensor encoding — the *logical* payload size.
+///
+/// Compressed tensor payloads (f16 / int8 magic) are mapped back to
+/// their f32-equivalent length from the header alone; f32 tensors,
+/// control payloads, relay batches and anything unrecognised report
+/// their actual length. The ratio `wire / logical` per message kind is
+/// therefore exactly the codec's compression ratio on tensor traffic.
+pub fn logical_payload_len(payload: &[u8]) -> usize {
+    if payload.len() < 8 {
+        return payload.len();
+    }
+    let magic = u32::from_le_bytes(payload[0..4].try_into().expect("4-byte slice"));
+    let rank = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte slice")) as usize;
+    if rank > 16 {
+        return payload.len();
+    }
+    match magic {
+        TENSOR_MAGIC_F32 => payload.len(),
+        TENSOR_MAGIC_F16 => {
+            // header 8 + 8·rank, then numel × u16 → numel × f32.
+            let header = 8 + 8 * rank;
+            match payload.len().checked_sub(header) {
+                Some(data) => header + data / 2 * 4,
+                None => payload.len(),
+            }
+        }
+        TENSOR_MAGIC_I8 => {
+            // header 8 + 8·rank + 4-byte scale, then numel × i8 → numel
+            // × f32 (and the scale disappears from the f32 frame).
+            let header = 8 + 8 * rank + 4;
+            match payload.len().checked_sub(header) {
+                Some(data) => header - 4 + data * 4,
+                None => payload.len(),
+            }
+        }
+        _ => payload.len(),
+    }
+}
+
 /// One message on the wire: routing metadata plus an opaque serialised
 /// payload. Payloads are produced by `Tensor::to_bytes` (or are empty for
 /// control messages), so the byte accounting below is exact.
@@ -223,6 +271,15 @@ impl Envelope {
     /// Bytes this message occupies on the wire (payload + framing).
     pub fn wire_size(&self) -> usize {
         self.payload.len() + HEADER_BYTES
+    }
+
+    /// Bytes this message *would* occupy with an uncompressed f32 tensor
+    /// payload (payload + framing) — see [`logical_payload_len`]. Equal
+    /// to [`wire_size`](Self::wire_size) for everything except compressed
+    /// tensor payloads; the gap between the two is exactly what a wire
+    /// codec saved.
+    pub fn logical_size(&self) -> usize {
+        logical_payload_len(&self.payload) + HEADER_BYTES
     }
 
     /// Serialises the envelope to a canonical byte frame:
@@ -344,6 +401,72 @@ mod tests {
             Envelope::control(NodeId::Server, NodeId::Platform(0), 0).wire_size(),
             HEADER_BYTES
         );
+    }
+
+    /// Hand-builds a tensor payload header (`magic · rank · dims`) plus
+    /// `data_len` payload bytes, mirroring the tensor crate's format.
+    fn tensor_payload(magic: u32, dims: &[u64], scale: bool, data_len: usize) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&magic.to_le_bytes());
+        p.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            p.extend_from_slice(&d.to_le_bytes());
+        }
+        if scale {
+            p.extend_from_slice(&1.0f32.to_le_bytes());
+        }
+        p.extend_from_slice(&vec![0u8; data_len]);
+        p
+    }
+
+    #[test]
+    fn logical_len_inverts_compressed_encodings() {
+        // A [3, 4] tensor: f32 frame = 8 + 16 + 48 bytes.
+        let f32_len = 8 + 16 + 48;
+        let f32_payload = tensor_payload(TENSOR_MAGIC_F32, &[3, 4], false, 48);
+        assert_eq!(logical_payload_len(&f32_payload), f32_len);
+        // f16 stores 2 bytes per element, logical is the f32 frame.
+        let f16_payload = tensor_payload(TENSOR_MAGIC_F16, &[3, 4], false, 24);
+        assert_eq!(f16_payload.len(), 8 + 16 + 24);
+        assert_eq!(logical_payload_len(&f16_payload), f32_len);
+        // int8 stores 1 byte per element plus a 4-byte scale.
+        let i8_payload = tensor_payload(TENSOR_MAGIC_I8, &[3, 4], true, 12);
+        assert_eq!(i8_payload.len(), 8 + 16 + 4 + 12);
+        assert_eq!(logical_payload_len(&i8_payload), f32_len);
+    }
+
+    #[test]
+    fn logical_len_passes_through_non_tensor_payloads() {
+        assert_eq!(logical_payload_len(&[]), 0);
+        assert_eq!(logical_payload_len(&[1, 2, 3]), 3);
+        let opaque = vec![0xABu8; 100];
+        assert_eq!(logical_payload_len(&opaque), 100);
+        // A truncated f16 header (rank says 16 dims, none present) must
+        // not underflow — it falls back to the actual length.
+        let mut short = Vec::new();
+        short.extend_from_slice(&TENSOR_MAGIC_F16.to_le_bytes());
+        short.extend_from_slice(&16u32.to_le_bytes());
+        assert_eq!(logical_payload_len(&short), 8);
+        // Implausible rank: treated as opaque.
+        let mut weird = Vec::new();
+        weird.extend_from_slice(&TENSOR_MAGIC_I8.to_le_bytes());
+        weird.extend_from_slice(&99u32.to_le_bytes());
+        weird.extend_from_slice(&[0u8; 64]);
+        assert_eq!(logical_payload_len(&weird), 72);
+    }
+
+    #[test]
+    fn logical_size_adds_framing() {
+        let payload = tensor_payload(TENSOR_MAGIC_F16, &[8], false, 16);
+        let env = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            0,
+            MessageKind::Activations,
+            Bytes::from(payload),
+        );
+        assert_eq!(env.wire_size(), 8 + 8 + 16 + HEADER_BYTES);
+        assert_eq!(env.logical_size(), 8 + 8 + 32 + HEADER_BYTES);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::node::NodeId;
 #[derive(Debug, Default)]
 struct StatsInner {
     total_bytes: u64,
+    logical_bytes: u64,
     messages: u64,
     by_kind: HashMap<MessageKind, u64>,
     msgs_by_kind: HashMap<MessageKind, u64>,
@@ -38,6 +39,11 @@ pub struct NetStats {
 pub struct StatsSnapshot {
     /// Total wire bytes sent (payload + framing).
     pub total_bytes: u64,
+    /// Total *logical* bytes sent: what the same messages would have
+    /// occupied with uncompressed f32 tensor payloads. Equal to
+    /// `total_bytes` under the f32 codec; `total_bytes / logical_bytes`
+    /// is the run's overall wire compression ratio.
+    pub logical_bytes: u64,
     /// Total messages sent.
     pub messages: u64,
     /// Wire bytes per message kind.
@@ -89,15 +95,21 @@ impl NetStats {
     pub fn on_send(&self, env: &Envelope, link: Option<LinkSpec>) -> f64 {
         let mut inner = self.inner.lock();
         let bytes = env.wire_size() as u64;
+        let logical = env.logical_size() as u64;
         inner.total_bytes += bytes;
+        inner.logical_bytes += logical;
         inner.messages += 1;
         *inner.by_kind.entry(env.kind).or_insert(0) += bytes;
         *inner.msgs_by_kind.entry(env.kind).or_insert(0) += 1;
         if medsplit_telemetry::enabled() {
             // Feed protocol-phase byte attribution into the telemetry
             // registry (names match the paper's four-message model plus
-            // the auxiliary kinds).
-            medsplit_telemetry::counter_add(&format!("net.bytes.{}", env.kind.as_str()), bytes);
+            // the auxiliary kinds). `net.bytes` counts logical
+            // (f32-equivalent) bytes and `net.wire_bytes` what actually
+            // crossed the wire, so a codec's compression ratio is read
+            // directly off the pair instead of inferred across runs.
+            medsplit_telemetry::counter_add(&format!("net.bytes.{}", env.kind.as_str()), logical);
+            medsplit_telemetry::counter_add(&format!("net.wire_bytes.{}", env.kind.as_str()), bytes);
             medsplit_telemetry::counter_add(&format!("net.msgs.{}", env.kind.as_str()), 1);
         }
         match (env.src, env.dst) {
@@ -143,6 +155,7 @@ impl NetStats {
         msgs_by_kind.sort_by_key(|(k, _)| *k);
         StatsSnapshot {
             total_bytes: inner.total_bytes,
+            logical_bytes: inner.logical_bytes,
             messages: inner.messages,
             by_kind,
             msgs_by_kind,
@@ -217,6 +230,43 @@ mod tests {
         assert_eq!(snap.downlink_bytes, (40 + HEADER_BYTES) as u64);
         assert_eq!(snap.total_bytes, (777 + 40 + 2 * HEADER_BYTES) as u64);
         assert_eq!(snap.messages, 2);
+    }
+
+    #[test]
+    fn logical_bytes_track_f32_equivalent() {
+        // Build a compressed f16 tensor payload by hand: [10] tensor,
+        // 8-byte magic/rank + 8-byte dim + 10 × u16 data.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0x4D54_5348u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&10u64.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 20]);
+        let stats = NetStats::new();
+        let e = Envelope::new(
+            NodeId::Platform(0),
+            NodeId::Server,
+            0,
+            MessageKind::Activations,
+            Bytes::from(payload),
+        );
+        stats.on_send(&e, None);
+        // An opaque control payload counts 1:1.
+        let c = env(NodeId::Server, NodeId::Platform(0), MessageKind::Control, 5);
+        stats.on_send(&c, None);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_bytes, (16 + 20 + 64 + 5 + 64) as u64);
+        assert_eq!(snap.logical_bytes, (16 + 40 + 64 + 5 + 64) as u64);
+    }
+
+    #[test]
+    fn logical_equals_wire_for_uncompressed_runs() {
+        let stats = NetStats::new();
+        stats.on_send(
+            &env(NodeId::Platform(0), NodeId::Server, MessageKind::Activations, 128),
+            None,
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.logical_bytes, snap.total_bytes);
     }
 
     #[test]

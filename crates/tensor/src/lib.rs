@@ -45,7 +45,7 @@ mod tensor;
 
 pub use error::{Result, TensorError};
 pub use ops::conv::Conv2dSpec;
-pub use ops::plan::{Blocking, ConvGeometry, ConvPlan, GemmPlan, PlanKind, PlanStats};
-pub use serialize::{serialized_len, serialized_len_f16};
+pub use ops::plan::{Blocking, ConvGeometry, ConvPlan, GemmPlan, PlanKind, PlanStats, WeightPrecision};
+pub use serialize::{serialized_len, serialized_len_f16, serialized_len_i8};
 pub use shape::Shape;
 pub use tensor::Tensor;

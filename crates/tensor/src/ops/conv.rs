@@ -25,7 +25,7 @@
 //! bit-identical-across-`MEDSPLIT_ISA` guarantee of the GEMM path.
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{self, gemm_into, gemm_nt_into, gemm_tn_into, PanelsA};
+use crate::ops::matmul::{self, gemm_into, gemm_nt_into, gemm_tn_into};
 use crate::ops::microkernel::NR;
 use crate::ops::plan::{choose_blocking, ConvPlan, PlanKind};
 use crate::pool;
@@ -384,7 +384,7 @@ pub fn conv2d_forward_planned(input: &Tensor, plan: &mut ConvPlan, bias: Option<
                 pack_patch_tile(img, c, h, w, spec, geo.ow, j0, NR.min(ncols - j0), tile);
             }
             matmul::gemm_compute_packed_b(
-                PanelsA::Packed(wpack),
+                wpack,
                 bpack,
                 dst,
                 o,

@@ -6,13 +6,16 @@
 //! deliberately minimal and exact:
 //!
 //! ```text
-//! magic   u32 LE = 0x4D54534E ("MTSN")  — or 0x4D545348 ("MTSH") for f16
+//! magic   u32 LE = 0x4D54534E ("MTSN")  — 0x4D545348 ("MTSH") for f16,
+//!                                         0x4D545351 ("MTSQ") for int8
 //! rank    u32 LE
 //! dims    rank × u64 LE
+//! scale   f32 LE                          (MTSQ only: per-tensor absmax/127)
 //! data    numel × f32 LE (MTSN)  /  numel × u16 LE f16 bits (MTSH)
+//!                                /  numel × i8 quantised values (MTSQ)
 //! ```
 //!
-//! [`Tensor::from_bytes`] detects the magic and decodes either encoding.
+//! [`Tensor::from_bytes`] detects the magic and decodes any encoding.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -23,6 +26,14 @@ use crate::tensor::Tensor;
 
 const MAGIC: u32 = 0x4D54_534E;
 const MAGIC_F16: u32 = 0x4D54_5348;
+const MAGIC_I8: u32 = 0x4D54_5351;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Encoding {
+    F32,
+    F16,
+    I8,
+}
 
 /// Number of bytes [`Tensor::to_bytes`] will produce for a tensor of the
 /// given shape, without serialising.
@@ -34,6 +45,24 @@ pub fn serialized_len(shape: &Shape) -> usize {
 /// the given shape, without serialising.
 pub fn serialized_len_f16(shape: &Shape) -> usize {
     4 + 4 + 8 * shape.rank() + 2 * shape.numel()
+}
+
+/// Number of bytes [`Tensor::to_bytes_i8`] will produce for a tensor of
+/// the given shape, without serialising (header grows by the 4-byte
+/// scale; each element shrinks to one byte).
+pub fn serialized_len_i8(shape: &Shape) -> usize {
+    4 + 4 + 8 * shape.rank() + 4 + shape.numel()
+}
+
+/// Quantises one value against a positive per-tensor scale: round half
+/// away from zero, saturating to the symmetric range ±127.
+///
+/// The ratio is formed in f64 so the rounding decision depends only on
+/// the IEEE-exact quotient, never on an intermediate f32 rounding —
+/// quantisation is therefore bit-deterministic across ISAs and hosts.
+fn quantize_i8(v: f32, scale: f32) -> i8 {
+    let q = (f64::from(v) / f64::from(scale)).round();
+    q.clamp(-127.0, 127.0) as i8
 }
 
 impl Tensor {
@@ -69,8 +98,41 @@ impl Tensor {
         buf.freeze()
     }
 
-    /// Deserialises a tensor written by [`to_bytes`](Self::to_bytes) or
-    /// [`to_bytes_f16`](Self::to_bytes_f16) (the encoding is detected from
+    /// Serialises the tensor with symmetric int8 quantisation: the header
+    /// carries a per-tensor scale (`absmax / 127`) and each element is
+    /// stored as `round_half_away(v / scale)` clamped to ±127. Lossy
+    /// (absolute error ≤ scale/2 per element) but roughly a quarter of the
+    /// f32 payload — the protocol's aggressive compression codec.
+    ///
+    /// An all-zero tensor encodes scale 0 and an all-zero payload; NaN
+    /// elements quantise to 0 deterministically.
+    pub fn to_bytes_i8(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(serialized_len_i8(self.shape()));
+        buf.put_u32_le(MAGIC_I8);
+        buf.put_u32_le(self.rank() as u32);
+        for &d in self.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        // f32::max ignores NaN operands, so a stray NaN cannot poison the
+        // scale of the whole tensor.
+        let absmax = self.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if absmax > 0.0 { absmax / 127.0 } else { 0.0 };
+        buf.put_f32_le(scale);
+        if scale == 0.0 {
+            for _ in 0..self.shape().numel() {
+                buf.put_u8(0);
+            }
+        } else {
+            for &v in self.as_slice() {
+                buf.put_u8(quantize_i8(v, scale) as u8);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a tensor written by [`to_bytes`](Self::to_bytes),
+    /// [`to_bytes_f16`](Self::to_bytes_f16) or
+    /// [`to_bytes_i8`](Self::to_bytes_i8) (the encoding is detected from
     /// the magic number).
     ///
     /// # Errors
@@ -82,9 +144,10 @@ impl Tensor {
             return Err(TensorError::Corrupt("buffer shorter than header".into()));
         }
         let magic = buf.get_u32_le();
-        let half = match magic {
-            MAGIC => false,
-            MAGIC_F16 => true,
+        let enc = match magic {
+            MAGIC => Encoding::F32,
+            MAGIC_F16 => Encoding::F16,
+            MAGIC_I8 => Encoding::I8,
             _ => return Err(TensorError::Corrupt(format!("bad magic 0x{magic:08X}"))),
         };
         let rank = buf.get_u32_le() as usize;
@@ -100,7 +163,19 @@ impl Tensor {
         }
         let shape = Shape::new(dims);
         let numel = shape.numel();
-        let elem = if half { 2 } else { 4 };
+        let scale = if enc == Encoding::I8 {
+            if buf.remaining() < 4 {
+                return Err(TensorError::Corrupt("buffer truncated in scale".into()));
+            }
+            buf.get_f32_le()
+        } else {
+            0.0
+        };
+        let elem = match enc {
+            Encoding::F32 => 4,
+            Encoding::F16 => 2,
+            Encoding::I8 => 1,
+        };
         if buf.remaining() < elem * numel {
             return Err(TensorError::Corrupt(format!(
                 "buffer truncated in data: need {} bytes, have {}",
@@ -110,10 +185,10 @@ impl Tensor {
         }
         let mut data = Vec::with_capacity(numel);
         for _ in 0..numel {
-            data.push(if half {
-                f16_bits_to_f32(buf.get_u16_le())
-            } else {
-                buf.get_f32_le()
+            data.push(match enc {
+                Encoding::F32 => buf.get_f32_le(),
+                Encoding::F16 => f16_bits_to_f32(buf.get_u16_le()),
+                Encoding::I8 => f32::from(buf.get_u8() as i8) * scale,
             });
         }
         Tensor::from_vec(data, shape)
@@ -189,9 +264,96 @@ mod tests {
     }
 
     #[test]
+    fn f16_codec_preserves_subnormal_inf_nan() {
+        let tiny = 2.0f32.powi(-24); // smallest positive f16 subnormal
+        let largest_sub = 1023.0 * 2.0f32.powi(-24);
+        let t = Tensor::from_vec(
+            vec![
+                tiny,
+                -tiny,
+                largest_sub,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::NAN,
+                1e6,   // overflows f16 → +inf
+                1e-10, // below the subnormal range → flushes to +0
+            ],
+            [8],
+        )
+        .unwrap();
+        let back = Tensor::from_bytes(t.to_bytes_f16()).unwrap();
+        let s = back.as_slice();
+        assert_eq!(s[0], tiny);
+        assert_eq!(s[1], -tiny);
+        assert_eq!(s[2], largest_sub);
+        assert_eq!(s[3], f32::INFINITY);
+        assert_eq!(s[4], f32::NEG_INFINITY);
+        assert!(s[5].is_nan());
+        assert_eq!(s[6], f32::INFINITY);
+        assert_eq!(s[7].to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
     fn f16_truncation_detected() {
         let raw = Tensor::zeros([4]).to_bytes_f16();
         assert!(Tensor::from_bytes(&raw[..raw.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn i8_roundtrip_bounded_by_half_scale() {
+        let t = Tensor::from_vec(vec![12.7, -3.3, 0.01, -12.7, 5.05, 0.0], [2, 3]).unwrap();
+        let scale = 12.7f32 / 127.0;
+        let back = Tensor::from_bytes(t.to_bytes_i8()).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!(
+                (a - b).abs() <= scale * 0.5 * (1.0 + 1e-5),
+                "{a} vs {b} (scale {scale})"
+            );
+        }
+        // The extrema hit the quantisation grid exactly.
+        assert_eq!(back.as_slice()[0], 12.7);
+        assert_eq!(back.as_slice()[3], -12.7);
+    }
+
+    #[test]
+    fn i8_rounds_half_away_from_zero() {
+        // scale = 127/127 = 1, so values sit directly on the half grid.
+        let t = Tensor::from_vec(vec![127.0, 2.5, -2.5, 0.49, -0.49], [5]).unwrap();
+        let back = Tensor::from_bytes(t.to_bytes_i8()).unwrap();
+        assert_eq!(back.as_slice(), &[127.0, 3.0, -3.0, 0.0, -0.0]);
+    }
+
+    #[test]
+    fn i8_zero_tensor_is_exact() {
+        let t = Tensor::zeros([4, 4]);
+        let back = Tensor::from_bytes(t.to_bytes_i8()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn i8_encoding_is_quarter_the_payload() {
+        let t = Tensor::zeros([100]);
+        assert_eq!(t.to_bytes_i8().len(), 8 + 8 + 4 + 100);
+        assert_eq!(t.to_bytes_i8().len(), serialized_len_i8(t.shape()));
+    }
+
+    #[test]
+    fn i8_truncation_detected() {
+        let raw = Tensor::zeros([4]).to_bytes_i8();
+        for cut in [0, 4, 9, 14, raw.len() - 1] {
+            assert!(
+                Tensor::from_bytes(&raw[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn i8_encode_is_deterministic() {
+        let vals: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin() * 9.5).collect();
+        let t = Tensor::from_vec(vals, [8, 8]).unwrap();
+        assert_eq!(t.to_bytes_i8(), t.to_bytes_i8());
     }
 
     #[test]

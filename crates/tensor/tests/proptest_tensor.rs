@@ -39,6 +39,50 @@ proptest! {
     }
 
     #[test]
+    fn i8_quantize_roundtrip_error_bounded(t in arb_tensor()) {
+        // The per-tensor scale is absmax/127; every element must come back
+        // within half a quantisation step (plus half-ULP slack for the
+        // dequantisation multiply).
+        let absmax = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if absmax > 0.0 { absmax / 127.0 } else { 0.0 };
+        let back = Tensor::from_bytes(t.to_bytes_i8()).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (&a, &b) in t.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!(
+                (a - b).abs() <= scale * 0.5 * (1.0 + 1e-5),
+                "value {} decoded as {} exceeds half-scale bound {}",
+                a, b, scale * 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn i8_serialized_len_matches(t in arb_tensor()) {
+        prop_assert_eq!(t.to_bytes_i8().len(), medsplit_tensor::serialized_len_i8(t.shape()));
+        prop_assert_eq!(t.to_bytes_i8().len(), 4 + 4 + 8 * t.rank() + 4 + t.numel());
+    }
+
+    #[test]
+    fn i8_encode_decode_is_deterministic(t in arb_tensor()) {
+        let bytes = t.to_bytes_i8();
+        prop_assert_eq!(&bytes, &t.to_bytes_i8());
+        let once = Tensor::from_bytes(bytes.clone()).unwrap();
+        let twice = Tensor::from_bytes(bytes).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn f16_wire_roundtrip_error_bounded(t in arb_tensor()) {
+        // Inputs in ±100 are all within f16 normal range: relative error
+        // per element is at most 2⁻¹¹.
+        let back = Tensor::from_bytes(t.to_bytes_f16()).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (&a, &b) in t.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= a.abs() * 2.0f32.powi(-11) + 1e-7, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
     fn addition_commutes((a, b) in arb_tensor_pair_same_shape()) {
         prop_assert!((&a + &b).allclose(&(&b + &a), 1e-4));
     }
